@@ -1,0 +1,224 @@
+package intellisphere
+
+// Benchmarks regenerate every table and figure of the paper's evaluation
+// (Section 7) plus the design-choice ablations. Each benchmark reports the
+// experiment's headline metrics through b.ReportMetric so a -bench run
+// doubles as a results table:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks run the Quick experiment configuration (reduced workloads,
+// identical shapes); cmd/experiments -full reproduces the paper-scale run.
+
+import (
+	"testing"
+
+	"intellisphere/internal/experiments"
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewEnv(experiments.Quick())
+	if err != nil {
+		b.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+// BenchmarkFig07ReadDFS regenerates Figure 7: the ReadDFS sub-operator's
+// per-record flatness across record counts and its fitted linear model
+// (paper: y = 0.0041x + 0.6323).
+func BenchmarkFig07ReadDFS(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Model.Slope, "slope_us_per_B")
+		b.ReportMetric(res.Model.Intercept, "intercept_us")
+		b.ReportMetric(res.Model.R2, "R2")
+	}
+}
+
+// BenchmarkFig11AggLogicalOp regenerates Figure 11: aggregation logical-op
+// training cost, NN convergence, and NN-vs-linear-regression accuracy.
+func BenchmarkFig11AggLogicalOp(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig11(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalTrainSec/3600, "train_hours")
+		b.ReportMetric(res.NNLine.R2, "nn_R2")
+		b.ReportMetric(res.LinRegLine.R2, "linreg_R2")
+		b.ReportMetric(res.NNRMSEPct, "nn_rmse_pct")
+	}
+}
+
+// BenchmarkFig12JoinLogicalOp regenerates Figure 12: join logical-op
+// training cost and accuracy (the NN-vs-linreg gap is the paper's point).
+func BenchmarkFig12JoinLogicalOp(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig12(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalTrainSec/3600, "train_hours")
+		b.ReportMetric(res.NNLine.R2, "nn_R2")
+		b.ReportMetric(res.LinRegLine.R2, "linreg_R2")
+	}
+}
+
+// BenchmarkFig13SubOps regenerates Figure 13: sub-operator probe training,
+// the learned per-record models, and the composed merge-join formula's
+// accuracy (paper: slope 1.578, R² 0.929 — slight overestimation).
+func BenchmarkFig13SubOps(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Report.TotalCount), "probe_queries")
+		b.ReportMetric(res.Report.TotalSec/60, "train_minutes")
+		b.ReportMetric(res.MergeJoinLine.Slope, "mergejoin_slope")
+		b.ReportMetric(res.MergeJoinLine.R2, "mergejoin_R2")
+	}
+}
+
+// BenchmarkFig14OutOfRange regenerates Figure 14: out-of-range prediction
+// with sub-op, raw NN, NN+online-remedy, and NN+offline-tuning.
+func BenchmarkFig14OutOfRange(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig14(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SubOpPct, "subop_rmse_pct")
+		b.ReportMetric(res.NNPct, "nn_rmse_pct")
+		b.ReportMetric(res.RemedyPct, "remedy_rmse_pct")
+		b.ReportMetric(res.TunedPct, "tuned_rmse_pct")
+	}
+}
+
+// BenchmarkTable1AlphaAdaptation regenerates Table 1: the α auto-adjustment
+// across five batches of nine out-of-range queries.
+func BenchmarkTable1AlphaAdaptation(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Alpha, "final_alpha")
+		b.ReportMetric(first.RMSEPct, "batch1_rmse_pct")
+		b.ReportMetric(last.RMSEPct, "batch5_rmse_pct")
+	}
+}
+
+// BenchmarkAblationLogOutput quantifies the log-space-target design choice.
+func BenchmarkAblationLogOutput(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLogOutputAblation(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RawMedRelErr, "raw_med_rel_err")
+		b.ReportMetric(res.LogMedRelErr, "log_med_rel_err")
+	}
+}
+
+// BenchmarkAblationAlphaPolicy compares fixed α = 0.5 with the adaptive
+// re-fit.
+func BenchmarkAblationAlphaPolicy(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAlphaAblation(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FixedRMSEPct, "fixed_rmse_pct")
+		b.ReportMetric(res.AdaptiveRMSEPct, "adaptive_rmse_pct")
+	}
+}
+
+// BenchmarkAblationChoicePolicy compares the worst/average/in-house
+// policies on ambiguous joins.
+func BenchmarkAblationChoicePolicy(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPolicyAblation(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WorstPct, "worst_rmse_pct")
+		b.ReportMetric(res.AvgPct, "avg_rmse_pct")
+		b.ReportMetric(res.InHousePct, "inhouse_rmse_pct")
+	}
+}
+
+// BenchmarkAblationNeighborK sweeps the online remedy's neighborhood size.
+func BenchmarkAblationNeighborK(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunNeighborKAblation(env, []int{4, 12, 24})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.RMSEPct, "k"+itoa(row.K)+"_rmse_pct")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var d []byte
+	for v > 0 {
+		d = append([]byte{byte('0' + v%10)}, d...)
+		v /= 10
+	}
+	return string(d)
+}
+
+// BenchmarkAblationTopology compares the cross-validated topology search
+// with the fixed (2d, d) default.
+func BenchmarkAblationTopology(b *testing.B) {
+	cfg := experiments.Quick()
+	cfg.NNIterations = 200
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTopologyAblation(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FixedRMSEPct, "fixed_rmse_pct")
+		b.ReportMetric(res.BestRMSEPct, "searched_rmse_pct")
+		b.ReportMetric(float64(res.TopologiesTried), "topologies")
+	}
+}
+
+// BenchmarkTrainingSizeCurve traces join-model quality against remote
+// training spend — the economics behind the hybrid costing profile.
+func BenchmarkTrainingSizeCurve(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTrainingSizeCurve(env, []float64{0.1, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].RMSEPct, "rmse_pct_at_10pct")
+		b.ReportMetric(res.Points[len(res.Points)-1].RMSEPct, "rmse_pct_at_100pct")
+	}
+}

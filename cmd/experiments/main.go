@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's evaluation (Section 7): every
+// figure and table, plus the design-choice ablations, printed as the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-full] [-run fig7,fig11,fig12,fig13,fig14,table1,ablations]
+//
+// The default -run value executes everything. Without -full the quick
+// configuration runs (reduced workload sizes, identical shapes); with -full
+// the paper-scale workloads run (120 tables, 1000 join pairs, ~3600
+// aggregation queries — expect minutes of wall-clock time for the neural
+// training).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"intellisphere/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-scale configuration")
+	run := flag.String("run", "all", "comma-separated experiments: fig7,fig11,fig12,fig13,fig14,table1,ablations")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	label := "quick"
+	if *full {
+		cfg = experiments.Full()
+		label = "full (paper-scale)"
+	}
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("IntelliSphere cost-estimation evaluation — %s configuration\n", label)
+	fmt.Printf("remote: simulated Hive (%d data nodes × %d cores, %d tables)\n\n",
+		env.Hive.Cluster().DataNodes, env.Hive.Cluster().CoresPerNode, len(env.Tables))
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+
+	type experiment struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	list := []experiment{
+		{"fig7", func() (fmt.Stringer, error) { return experiments.RunFig7(env) }},
+		{"fig11", func() (fmt.Stringer, error) { return experiments.RunFig11(env) }},
+		{"fig12", func() (fmt.Stringer, error) { return experiments.RunFig12(env) }},
+		{"fig13", func() (fmt.Stringer, error) { return experiments.RunFig13(env) }},
+		{"fig14", func() (fmt.Stringer, error) { return experiments.RunFig14(env) }},
+		{"table1", func() (fmt.Stringer, error) { return experiments.RunTable1(env) }},
+	}
+	ran := 0
+	for _, e := range list {
+		if !all && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.fn()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.name, err))
+		}
+		fmt.Printf("=== %s (%.1fs wall clock) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+		ran++
+	}
+
+	if all || want["ablations"] {
+		start := time.Now()
+		logAb, err := experiments.RunLogOutputAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		alphaAb, err := experiments.RunAlphaAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		polAb, err := experiments.RunPolicyAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		nkAb, err := experiments.RunNeighborKAblation(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		topoAb, err := experiments.RunTopologyAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		curve, err := experiments.RunTrainingSizeCurve(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== ablations (%.1fs wall clock) ===\n%s\n%s\n%s\n%s\n%s\n%s\n",
+			time.Since(start).Seconds(), logAb, alphaAb, polAb, nkAb, topoAb, curve)
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("no experiments matched -run=%q", *run))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

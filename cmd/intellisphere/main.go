@@ -1,0 +1,229 @@
+// Command intellisphere is an interactive demo of the federated engine: it
+// stands up a master engine with three simulated remote systems (Hive-like,
+// Spark-like, and Presto-like clusters), registers the Figure 10 synthetic
+// tables across them, trains the cost models, and then accepts SQL on
+// standard input.
+//
+// Usage:
+//
+//	intellisphere                 # interactive shell
+//	echo "SELECT ..." | intellisphere
+//	intellisphere -q "SELECT ..."
+//
+// Shell commands:
+//
+//	\tables        list registered tables
+//	\systems       list registered systems
+//	explain <sql>  plan a query without executing it
+//	<sql>          plan, execute, and report actual simulated times
+//	\quit          exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"intellisphere"
+	"intellisphere/internal/datagen"
+)
+
+func main() {
+	query := flag.String("q", "", "run one query and exit")
+	flag.Parse()
+
+	eng, err := setup()
+	if err != nil {
+		fatal(err)
+	}
+	if *query != "" {
+		if err := runLine(eng, *query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	interactive := fileIsTerminal(os.Stdin)
+	if interactive {
+		fmt.Println("intellisphere demo shell — \\tables, \\systems, explain <sql>, \\quit")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Print("intellisphere> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\quit` || line == `\q` {
+			break
+		}
+		if err := runLine(eng, line); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// setup builds the demo federation: hive owns the bulk of the Figure 10
+// tables, spark owns a handful, and two small tables are materialized so
+// queries over them return real rows.
+func setup() (*intellisphere.Engine, error) {
+	eng, err := intellisphere.NewEngine(intellisphere.EngineConfig{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	hive, err := intellisphere.NewHiveSystem("hive", intellisphere.DefaultHiveCluster(), intellisphere.SystemOptions{Seed: 2})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(hive, intellisphere.EngineHive, intellisphere.InHouseComparable); err != nil {
+		return nil, err
+	}
+	sparkCluster := intellisphere.DefaultHiveCluster()
+	sparkCluster.Name = "spark-vm"
+	spark, err := intellisphere.NewSparkSystem("spark", sparkCluster, intellisphere.SystemOptions{Seed: 3})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(spark, intellisphere.EngineSpark, intellisphere.InHouseComparable); err != nil {
+		return nil, err
+	}
+	prestoCluster := intellisphere.DefaultHiveCluster()
+	prestoCluster.Name = "presto-vm"
+	presto, err := intellisphere.NewPrestoSystem("presto", prestoCluster, intellisphere.SystemOptions{Seed: 4})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(presto, intellisphere.EnginePresto, intellisphere.InHouseComparable); err != nil {
+		return nil, err
+	}
+
+	// Figure 10 tables on hive, two spark-owned extras, a presto-owned
+	// warehouse, and one local dimension table on the master.
+	for _, rows := range []int64{10000, 100000, 1000000, 10000000, 80000000} {
+		for _, size := range []int{100, 250, 1000} {
+			tb, err := datagen.Table(rows, size, "hive")
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.RegisterTable(tb); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, spec := range []struct {
+		rows int64
+		size int
+		name string
+	}{
+		{2000000, 100, "events"},
+		{200000, 100, "users"},
+	} {
+		tb, err := datagen.Table(spec.rows, spec.size, "spark")
+		if err != nil {
+			return nil, err
+		}
+		tb.Name = spec.name
+		if err := eng.RegisterTable(tb); err != nil {
+			return nil, err
+		}
+	}
+	warehouse, err := datagen.Table(5000000, 250, "presto")
+	if err != nil {
+		return nil, err
+	}
+	warehouse.Name = "warehouse"
+	if err := eng.RegisterTable(warehouse); err != nil {
+		return nil, err
+	}
+	local, err := datagen.Table(50000, 100, "")
+	if err != nil {
+		return nil, err
+	}
+	local.Name = "dim_local"
+	if err := eng.RegisterTable(local); err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"t10000_100", "t100000_100"} {
+		if err := eng.Materialize(name); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+func runLine(eng *intellisphere.Engine, line string) error {
+	switch {
+	case line == `\tables`:
+		for _, t := range eng.Catalog().List() {
+			sys := t.System
+			if sys == "" {
+				sys = intellisphere.Master
+			}
+			fmt.Printf("  %-20s %12d rows × %4d B  on %s\n", t.Name, t.Rows, t.RowSize(), sys)
+		}
+		return nil
+	case line == `\systems`:
+		for _, s := range eng.Systems() {
+			fmt.Println(" ", s)
+		}
+		return nil
+	case strings.HasPrefix(strings.ToLower(line), "explain "):
+		out, err := eng.Explain(line[len("explain "):])
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	default:
+		res, err := eng.Query(line)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Plan.Explain())
+		fmt.Printf("executed in %.2f simulated seconds (estimate was %.2f)\n", res.ActualSec, res.Plan.EstimatedSec)
+		if res.Rows != nil {
+			printRows(res)
+		}
+		return nil
+	}
+}
+
+func printRows(res *intellisphere.QueryResult) {
+	const maxRows = 10
+	fmt.Println(strings.Join(res.Rows.Columns, "\t"))
+	for i, row := range res.Rows.Rows {
+		if i == maxRows {
+			fmt.Printf("... (%d rows total)\n", len(res.Rows.Rows))
+			return
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprintf("%g", v)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}
+
+func fileIsTerminal(f *os.File) bool {
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "intellisphere:", err)
+	os.Exit(1)
+}

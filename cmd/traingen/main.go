@@ -1,0 +1,138 @@
+// Command traingen materializes the paper's training artifacts as CSV on
+// standard output: the Figure 10 table inventory, the aggregation and join
+// training workloads (with their SQL text, model dimensions, and — when
+// -execute is set — the simulated observed costs), and the sub-operator
+// probe suite.
+//
+// Usage:
+//
+//	traingen -what tables
+//	traingen -what agg -execute
+//	traingen -what join -pairs 1000 -execute
+//	traingen -what probes
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"intellisphere/internal/cluster"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/remote"
+	"intellisphere/internal/workload"
+)
+
+func main() {
+	what := flag.String("what", "tables", "artifact to dump: tables, agg, join, probes")
+	pairs := flag.Int("pairs", 1000, "join training pairs (join only)")
+	seed := flag.Int64("seed", 7, "workload sampling seed")
+	execute := flag.Bool("execute", false, "execute each query on the simulated Hive remote and record its cost")
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	tables, err := datagen.Tables("hive")
+	if err != nil {
+		fatal(err)
+	}
+	var sys remote.System
+	if *execute {
+		sys, err = remote.NewHive("hive", cluster.DefaultHive(), remote.Options{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch *what {
+	case "tables":
+		write(w, []string{"name", "rows", "record_size_bytes", "system"})
+		for _, t := range tables {
+			write(w, []string{t.Name, strconv.FormatInt(t.Rows, 10), strconv.Itoa(t.RowSize()), t.System})
+		}
+	case "agg":
+		qs, err := workload.AggTrainingSet(tables)
+		if err != nil {
+			fatal(err)
+		}
+		header := []string{"sql", "input_rows", "input_row_size", "output_rows", "output_row_size", "num_aggregates"}
+		if *execute {
+			header = append(header, "elapsed_sec")
+		}
+		write(w, header)
+		for _, q := range qs {
+			row := []string{
+				q.SQL(),
+				ftoa(q.Spec.InputRows), ftoa(q.Spec.InputRowSize),
+				ftoa(q.Spec.OutputRows), ftoa(q.Spec.OutputRowSize),
+				strconv.Itoa(q.Spec.NumAggregates),
+			}
+			if *execute {
+				ex, err := sys.ExecuteAgg(q.Spec)
+				if err != nil {
+					fatal(err)
+				}
+				row = append(row, ftoa(ex.ElapsedSec))
+			}
+			write(w, row)
+		}
+	case "join":
+		qs, err := workload.JoinTrainingSet(tables, *pairs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		header := append([]string{"sql"}, dimHeader()...)
+		if *execute {
+			header = append(header, "elapsed_sec")
+		}
+		write(w, header)
+		for _, q := range qs {
+			row := []string{q.SQL()}
+			for _, d := range q.Spec.Dims() {
+				row = append(row, ftoa(d))
+			}
+			if *execute {
+				ex, err := sys.ExecuteJoin(q.Spec)
+				if err != nil {
+					fatal(err)
+				}
+				row = append(row, ftoa(ex.ElapsedSec))
+			}
+			write(w, row)
+		}
+	case "probes":
+		write(w, []string{"sub_op", "symbol", "records", "record_size_bytes", "build_bytes"})
+		for _, op := range remote.AllSubOps() {
+			for _, size := range []float64{40, 70, 100, 250, 500, 1000} {
+				for _, n := range []float64{1e6, 2e6, 4e6, 8e6} {
+					write(w, []string{op.String(), op.Symbol(), ftoa(n), ftoa(size), "0"})
+					if op == remote.HashBuild {
+						write(w, []string{op.String(), op.Symbol(), ftoa(n), ftoa(size), strconv.FormatInt(1<<42, 10)})
+					}
+				}
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown artifact %q (want tables, agg, join, or probes)", *what))
+	}
+}
+
+func dimHeader() []string {
+	return []string{"row_size_r", "num_rows_r", "row_size_s", "num_rows_s", "proj_size_r", "proj_size_s", "num_output"}
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func write(w *csv.Writer, row []string) {
+	if err := w.Write(row); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traingen:", err)
+	os.Exit(1)
+}

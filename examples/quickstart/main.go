@@ -1,0 +1,67 @@
+// Quickstart: stand up the IntelliSphere master engine, register one
+// openbox Hive-like remote system (sub-operator costing, Section 4 of the
+// paper), register two foreign tables, and run a federated join — printing
+// the cost-based plan, the rejected placements, and the simulated actual
+// execution time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intellisphere"
+	"intellisphere/internal/datagen"
+)
+
+func main() {
+	// The master ("Teradata") engine. It calibrates its own cost model on
+	// construction.
+	eng, err := intellisphere.NewEngine(intellisphere.EngineConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A Hive-like remote on the paper's 4-node evaluation cluster.
+	hive, err := intellisphere.NewHiveSystem("hive", intellisphere.DefaultHiveCluster(), intellisphere.SystemOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Openbox registration: the engine probes the remote with a few dozen
+	// primitive queries (Figure 5) and learns per-record linear models for
+	// each sub-operator.
+	_, report, err := eng.RegisterRemoteSubOp(hive, intellisphere.EngineHive, intellisphere.InHouseComparable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sub-op training: %d probe queries, %.1f simulated minutes\n",
+		report.TotalCount, report.TotalSec/60)
+	for _, sr := range report.SubOps[:3] {
+		fmt.Printf("  learned %-9s %s\n", sr.Target, sr.Line)
+	}
+
+	// Two foreign tables from the Figure 10 synthetic dataset, owned by hive.
+	for _, spec := range []struct {
+		rows int64
+		size int
+	}{{80_000_000, 500}, {1_000_000, 100}} {
+		tb, err := datagen.Table(spec.rows, spec.size, "hive")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.RegisterTable(tb); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A federated join. The optimizer costs running it on hive versus
+	// shipping the inputs to the master, and picks the cheaper plan.
+	sql := "SELECT r.a1, s.a1 FROM t80000000_500 r JOIN t1000000_100 s ON r.a1 = s.a1 WHERE r.a1 + s.z < 500000"
+	fmt.Printf("\n%s\n\n", sql)
+	res, err := eng.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Plan.Explain())
+	fmt.Printf("\nexecuted in %.1f simulated seconds (estimate %.1f)\n", res.ActualSec, res.Plan.EstimatedSec)
+}

@@ -1,0 +1,3 @@
+module intellisphere
+
+go 1.22

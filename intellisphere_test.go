@@ -1,0 +1,187 @@
+package intellisphere
+
+import (
+	"testing"
+
+	"intellisphere/internal/catalog"
+	"intellisphere/internal/datagen"
+)
+
+func fig10Table(t *testing.T, rows int64, size int, system string) *catalog.Table {
+	t.Helper()
+	tb, err := datagen.Table(rows, size, system)
+	if err != nil {
+		t.Fatalf("datagen.Table: %v", err)
+	}
+	return tb
+}
+
+// TestFacadeEndToEnd exercises the public API exactly the way the README's
+// quickstart does: build an engine, register an openbox remote, register
+// foreign tables, and run a federated query.
+func TestFacadeEndToEnd(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	hive, err := NewHiveSystem("hive", DefaultHiveCluster(), SystemOptions{NoiseAmp: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewHiveSystem: %v", err)
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(hive, EngineHive, InHouseComparable); err != nil {
+		t.Fatalf("RegisterRemoteSubOp: %v", err)
+	}
+	tb := fig10Table(t, 1_000_000, 100, "hive")
+	if err := eng.RegisterTable(tb); err != nil {
+		t.Fatalf("RegisterTable: %v", err)
+	}
+	tb2 := fig10Table(t, 100_000, 100, "hive")
+	if err := eng.RegisterTable(tb2); err != nil {
+		t.Fatalf("RegisterTable: %v", err)
+	}
+	out, err := eng.Explain("SELECT r.a1 FROM t1000000_100 r JOIN t100000_100 s ON r.a1 = s.a1")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if out == "" {
+		t.Fatal("empty explain")
+	}
+	res, err := eng.Query("SELECT r.a1 FROM t1000000_100 r JOIN t100000_100 s ON r.a1 = s.a1 WHERE r.a1 + s.z < 50000")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.ActualSec <= 0 {
+		t.Error("no simulated execution time")
+	}
+}
+
+func TestFacadeDirectEstimation(t *testing.T) {
+	hive, err := NewHiveSystem("hive", DefaultHiveCluster(), SystemOptions{NoiseAmp: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, report, err := TrainSubOp(hive)
+	if err != nil {
+		t.Fatalf("TrainSubOp: %v", err)
+	}
+	if report.TotalCount == 0 {
+		t.Error("empty training report")
+	}
+	prof := &CostingProfile{
+		SystemName: "hive", Engine: EngineHive, Active: SubOp,
+		Policy: InHouseComparable, SubOpModels: models,
+	}
+	est, err := NewHybridEstimator(prof)
+	if err != nil {
+		t.Fatalf("NewHybridEstimator: %v", err)
+	}
+	ce, err := est.EstimateJoin(JoinSpec{
+		Left:       TableSide{Rows: 4e6, RowSize: 250, ProjectedSize: 28, KeyNDV: 4e6},
+		Right:      TableSide{Rows: 1e5, RowSize: 100, ProjectedSize: 28, KeyNDV: 1e5},
+		OutputRows: 1e5,
+	})
+	if err != nil {
+		t.Fatalf("EstimateJoin: %v", err)
+	}
+	if ce.Seconds <= 0 || ce.Approach != SubOp {
+		t.Errorf("estimate = %+v", ce)
+	}
+	cfg := DefaultLogicalConfig(4, 1)
+	if cfg.NN.Network.InputDim != 4 {
+		t.Error("DefaultLogicalConfig misconfigured")
+	}
+	if Master != "teradata" {
+		t.Errorf("Master = %q", Master)
+	}
+}
+
+func TestFacadeThreeEngineKinds(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, kind EngineKind) {
+		t.Helper()
+		cfg := DefaultHiveCluster()
+		cfg.Name = name + "-vm"
+		var sys RemoteSystem
+		switch kind {
+		case EngineSpark:
+			sys, err = NewSparkSystem(name, cfg, SystemOptions{Seed: 6})
+		case EnginePresto:
+			sys, err = NewPrestoSystem(name, cfg, SystemOptions{Seed: 7})
+		default:
+			sys, err = NewHiveSystem(name, cfg, SystemOptions{Seed: 8})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eng.RegisterRemoteSubOp(sys, kind, InHouseComparable); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	mk("hive", EngineHive)
+	mk("spark", EngineSpark)
+	mk("presto", EnginePresto)
+	if got := len(eng.Systems()); got != 4 {
+		t.Fatalf("systems = %d, want 4 (incl. master)", got)
+	}
+	// Identical work costed on each remote: presto ≤ spark ≤ hive.
+	spec := JoinSpec{
+		Left:       TableSide{Rows: 8e6, RowSize: 250, ProjectedSize: 28, KeyNDV: 8e6},
+		Right:      TableSide{Rows: 4e6, RowSize: 250, ProjectedSize: 28, KeyNDV: 4e6},
+		OutputRows: 2e6,
+	}
+	cost := func(name string) float64 {
+		t.Helper()
+		est, err := eng.Estimator(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ce, err := est.EstimateJoin(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ce.Seconds
+	}
+	hive, spark, presto := cost("hive"), cost("spark"), cost("presto")
+	if !(presto < spark && spark < hive) {
+		t.Errorf("engine-class ordering violated: presto %v, spark %v, hive %v", presto, spark, hive)
+	}
+}
+
+func TestFacadeProfileLifecycle(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hive, err := NewHiveSystem("hive", DefaultHiveCluster(), SystemOptions{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(hive, EngineHive, WorstCase); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/hive.json"
+	if err := eng.SaveProfile("hive", path); err != nil {
+		t.Fatalf("SaveProfile: %v", err)
+	}
+	eng2, err := NewEngine(EngineConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.RegisterRemoteFromProfile(hive, path); err != nil {
+		t.Fatalf("RegisterRemoteFromProfile: %v", err)
+	}
+	// Link calibration through the facade.
+	measure := func(rows, rowSize float64) (float64, error) {
+		return 0.1 + rows*rowSize/1e9, nil
+	}
+	cfg, err := eng2.CalibrateLink("hive", measure)
+	if err != nil {
+		t.Fatalf("CalibrateLink: %v", err)
+	}
+	if cfg.BandwidthBytesPerSec < 8e8 || cfg.BandwidthBytesPerSec > 1.2e9 {
+		t.Errorf("calibrated bandwidth = %v", cfg.BandwidthBytesPerSec)
+	}
+}

@@ -1,0 +1,247 @@
+// Package catalog implements the master engine's metadata layer: table
+// schemas, basic statistics (cardinality, row size, per-column distinct
+// counts), and the foreign-table registry that records which remote system
+// owns each table. The paper assumes Teradata "can collect basic statistics
+// on remote tables, e.g., the number of rows, average row size, the number
+// of distinct values in each column" (Section 2); this package is that store.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ColType enumerates the column types the synthetic workloads use.
+type ColType int
+
+// Supported column types.
+const (
+	Int ColType = iota
+	Char
+)
+
+// String returns the type name.
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "INTEGER"
+	case Char:
+		return "CHAR"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column describes one attribute. Duplication is the average number of times
+// each distinct value repeats (the synthetic schema of Figure 10 names its
+// columns a1, a2, a5, ... after exactly this factor); 0 means unknown.
+type Column struct {
+	Name        string  `json:"name"`
+	Type        ColType `json:"type"`
+	Width       int     `json:"width"` // bytes
+	Duplication float64 `json:"duplication"`
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column `json:"columns"`
+}
+
+// Validate reports structural problems.
+func (s Schema) Validate() error {
+	if len(s.Columns) == 0 {
+		return errors.New("catalog: schema has no columns")
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return errors.New("catalog: column with empty name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("catalog: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Width <= 0 {
+			return fmt.Errorf("catalog: column %q has non-positive width %d", c.Name, c.Width)
+		}
+		if c.Duplication < 0 {
+			return fmt.Errorf("catalog: column %q has negative duplication", c.Name)
+		}
+	}
+	return nil
+}
+
+// RowSize returns the record width in bytes.
+func (s Schema) RowSize() int {
+	total := 0
+	for _, c := range s.Columns {
+		total += c.Width
+	}
+	return total
+}
+
+// Column finds a column by name.
+func (s Schema) Column(name string) (Column, bool) {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ProjectedSize sums the widths of the named columns.
+func (s Schema) ProjectedSize(names []string) (int, error) {
+	total := 0
+	for _, n := range names {
+		c, ok := s.Column(n)
+		if !ok {
+			return 0, fmt.Errorf("catalog: unknown column %q", n)
+		}
+		total += c.Width
+	}
+	return total, nil
+}
+
+// Table couples a name, schema, statistics, and the owning system. An empty
+// System means the table is local to the master engine.
+type Table struct {
+	Name   string `json:"name"`
+	Schema Schema `json:"schema"`
+	Rows   int64  `json:"rows"`
+	System string `json:"system"`
+	// PartitionedOn / SortedOn record physical layout properties on the
+	// named column, which the sub-op applicability rules inspect.
+	PartitionedOn string `json:"partitioned_on,omitempty"`
+	SortedOn      string `json:"sorted_on,omitempty"`
+}
+
+// Validate reports structural problems.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return errors.New("catalog: table with empty name")
+	}
+	if err := t.Schema.Validate(); err != nil {
+		return fmt.Errorf("table %q: %w", t.Name, err)
+	}
+	if t.Rows < 0 {
+		return fmt.Errorf("catalog: table %q has negative row count", t.Name)
+	}
+	if t.PartitionedOn != "" {
+		if _, ok := t.Schema.Column(t.PartitionedOn); !ok {
+			return fmt.Errorf("catalog: table %q partitioned on unknown column %q", t.Name, t.PartitionedOn)
+		}
+	}
+	if t.SortedOn != "" {
+		if _, ok := t.Schema.Column(t.SortedOn); !ok {
+			return fmt.Errorf("catalog: table %q sorted on unknown column %q", t.Name, t.SortedOn)
+		}
+	}
+	return nil
+}
+
+// RowSize returns the record width in bytes.
+func (t *Table) RowSize() int { return t.Schema.RowSize() }
+
+// Bytes returns the total table size in bytes.
+func (t *Table) Bytes() float64 { return float64(t.Rows) * float64(t.RowSize()) }
+
+// NDV estimates the number of distinct values of a column from its
+// duplication factor (rows / duplication, at least 1). Columns with unknown
+// duplication report the row count (assume unique).
+func (t *Table) NDV(column string) (float64, error) {
+	c, ok := t.Schema.Column(column)
+	if !ok {
+		return 0, fmt.Errorf("catalog: table %q has no column %q", t.Name, column)
+	}
+	if t.Rows == 0 {
+		return 0, nil
+	}
+	if c.Duplication <= 1 {
+		return float64(t.Rows), nil
+	}
+	ndv := float64(t.Rows) / c.Duplication
+	if ndv < 1 {
+		ndv = 1
+	}
+	return ndv, nil
+}
+
+// Catalog is a thread-safe table registry.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register validates and adds a table; re-registering an existing name fails.
+func (c *Catalog) Register(t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q already registered", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Lookup finds a table by name.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// List returns all tables sorted by name.
+func (c *Catalog) List() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BySystem returns all tables owned by the named system, sorted by name.
+func (c *Catalog) BySystem(system string) []*Table {
+	var out []*Table
+	for _, t := range c.List() {
+		if t.System == system {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}

@@ -1,0 +1,258 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSchema() Schema {
+	return Schema{Columns: []Column{
+		{Name: "a1", Type: Int, Width: 4, Duplication: 1},
+		{Name: "a5", Type: Int, Width: 4, Duplication: 5},
+		{Name: "z", Type: Int, Width: 4, Duplication: 0},
+		{Name: "dummy", Type: Char, Width: 88},
+	}}
+}
+
+func sampleTable(name string) *Table {
+	return &Table{Name: name, Schema: sampleSchema(), Rows: 1000, System: "hive"}
+}
+
+func TestSchemaRowSize(t *testing.T) {
+	s := sampleSchema()
+	if got := s.RowSize(); got != 100 {
+		t.Errorf("RowSize = %d, want 100", got)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := sampleSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		s    Schema
+	}{
+		{"empty", Schema{}},
+		{"unnamed column", Schema{Columns: []Column{{Width: 4}}}},
+		{"duplicate", Schema{Columns: []Column{{Name: "a", Width: 4}, {Name: "a", Width: 4}}}},
+		{"zero width", Schema{Columns: []Column{{Name: "a", Width: 0}}}},
+		{"negative duplication", Schema{Columns: []Column{{Name: "a", Width: 4, Duplication: -1}}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestProjectedSize(t *testing.T) {
+	s := sampleSchema()
+	got, err := s.ProjectedSize([]string{"a1", "a5"})
+	if err != nil {
+		t.Fatalf("ProjectedSize: %v", err)
+	}
+	if got != 8 {
+		t.Errorf("ProjectedSize = %d, want 8", got)
+	}
+	if _, err := s.ProjectedSize([]string{"nope"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if Int.String() != "INTEGER" || Char.String() != "CHAR" {
+		t.Error("unexpected type names")
+	}
+	if ColType(9).String() != "ColType(9)" {
+		t.Error("unexpected fallback")
+	}
+}
+
+func TestTableNDV(t *testing.T) {
+	tb := sampleTable("t")
+	ndv, err := tb.NDV("a1")
+	if err != nil {
+		t.Fatalf("NDV: %v", err)
+	}
+	if ndv != 1000 {
+		t.Errorf("NDV(a1) = %v, want 1000 (unique)", ndv)
+	}
+	ndv, _ = tb.NDV("a5")
+	if ndv != 200 {
+		t.Errorf("NDV(a5) = %v, want 200", ndv)
+	}
+	ndv, _ = tb.NDV("z") // unknown duplication: assume unique
+	if ndv != 1000 {
+		t.Errorf("NDV(z) = %v, want 1000", ndv)
+	}
+	if _, err := tb.NDV("missing"); err == nil {
+		t.Error("NDV on missing column accepted")
+	}
+	empty := sampleTable("e")
+	empty.Rows = 0
+	if ndv, _ := empty.NDV("a1"); ndv != 0 {
+		t.Errorf("NDV of empty table = %v, want 0", ndv)
+	}
+}
+
+func TestTableBytes(t *testing.T) {
+	tb := sampleTable("t")
+	if got := tb.Bytes(); got != 100000 {
+		t.Errorf("Bytes = %v, want 100000", got)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	tb := sampleTable("t")
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	bad := sampleTable("")
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = sampleTable("t")
+	bad.Rows = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rows accepted")
+	}
+	bad = sampleTable("t")
+	bad.PartitionedOn = "missing"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad partition column accepted")
+	}
+	bad = sampleTable("t")
+	bad.SortedOn = "missing"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad sort column accepted")
+	}
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c := New()
+	if err := c.Register(sampleTable("t1")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.Register(sampleTable("t1")); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	tb, err := c.Lookup("t1")
+	if err != nil || tb.Name != "t1" {
+		t.Fatalf("Lookup: %v %v", tb, err)
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("lookup of missing table succeeded")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if err := c.Drop("t1"); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if err := c.Drop("t1"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestCatalogListSortedAndBySystem(t *testing.T) {
+	c := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		tb := sampleTable(name)
+		if name == "mid" {
+			tb.System = "spark"
+		}
+		if err := c.Register(tb); err != nil {
+			t.Fatalf("Register(%s): %v", name, err)
+		}
+	}
+	list := c.List()
+	if len(list) != 3 || list[0].Name != "alpha" || list[2].Name != "zeta" {
+		t.Errorf("List not sorted: %v", list)
+	}
+	hive := c.BySystem("hive")
+	if len(hive) != 2 {
+		t.Errorf("BySystem(hive) = %d tables, want 2", len(hive))
+	}
+	if got := c.BySystem("none"); len(got) != 0 {
+		t.Errorf("BySystem(none) = %d tables, want 0", len(got))
+	}
+}
+
+func TestCatalogConcurrent(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			if err := c.Register(sampleTable(name)); err != nil {
+				t.Errorf("Register(%s): %v", name, err)
+			}
+			if _, err := c.Lookup(name); err != nil {
+				t.Errorf("Lookup(%s): %v", name, err)
+			}
+			c.List()
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 16 {
+		t.Errorf("Len = %d, want 16", c.Len())
+	}
+}
+
+// Property: NDV is always in [1, rows] for non-empty tables with positive
+// duplication, and rows/duplication when duplication > 1 divides evenly.
+func TestNDVBoundsProperty(t *testing.T) {
+	f := func(rows uint32, dup uint8) bool {
+		r := int64(rows%1000000) + 1
+		d := float64(dup%100) + 1
+		tb := &Table{
+			Name: "p",
+			Schema: Schema{Columns: []Column{
+				{Name: "c", Width: 4, Duplication: d},
+			}},
+			Rows: r,
+		}
+		ndv, err := tb.NDV("c")
+		if err != nil {
+			return false
+		}
+		return ndv >= 1 && ndv <= float64(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := sampleTable("orders")
+	tb.PartitionedOn = "a1"
+	tb.SortedOn = "a1"
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Name != tb.Name || back.Rows != tb.Rows || back.System != tb.System {
+		t.Errorf("restored = %+v", back)
+	}
+	if back.RowSize() != tb.RowSize() {
+		t.Errorf("schema lost: %d vs %d", back.RowSize(), tb.RowSize())
+	}
+	if back.PartitionedOn != "a1" || back.SortedOn != "a1" {
+		t.Error("layout flags lost")
+	}
+	ndv1, _ := tb.NDV("a5")
+	ndv2, err := back.NDV("a5")
+	if err != nil || ndv1 != ndv2 {
+		t.Errorf("NDV changed: %v vs %v (%v)", ndv1, ndv2, err)
+	}
+}

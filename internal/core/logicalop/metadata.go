@@ -1,0 +1,162 @@
+// Package logicalop implements the paper's logical-operator costing
+// (Section 3): per-operator neural network models trained on thousands of
+// remote queries, per-dimension training metadata ([min,max] plus stepSize,
+// plus disjoint "island" segments recorded when continuity breaks), the
+// online remedy phase (pivot detection, on-the-fly regression over the
+// nearest training points, α-weighted combination with the network), the α
+// auto-adjustment, and the offline tuning phase that folds the execution
+// log back into the network.
+package logicalop
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a closed trained segment on one dimension.
+type Interval struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// contains reports whether v lies inside the interval widened by slack.
+func (iv Interval) contains(v, slack float64) bool {
+	return v >= iv.Min-slack && v <= iv.Max+slack
+}
+
+// DimensionMeta is the per-dimension training metadata of Section 3: the
+// covered [Min, Max] range, the characteristic StepSize between training
+// points, and any disjoint Islands of out-of-range values learned later
+// whose gap from the main range broke continuity.
+type DimensionMeta struct {
+	Name     string     `json:"name"`
+	Min      float64    `json:"min"`
+	Max      float64    `json:"max"`
+	StepSize float64    `json:"step_size"`
+	Islands  []Interval `json:"islands,omitempty"`
+}
+
+// NewDimensionMeta derives metadata from the training values of one
+// dimension. StepSize is the largest gap between consecutive distinct
+// values — the coarsest granularity at which the dimension was sampled.
+// (Cardinality-like dimensions are sampled on near-exponential grids, so
+// the gap near the upper edge is what decides whether a new value
+// "maintains continuity"; the median gap would flag values barely past the
+// trained maximum as way off.)
+func NewDimensionMeta(name string, values []float64) (DimensionMeta, error) {
+	if len(values) == 0 {
+		return DimensionMeta{}, fmt.Errorf("logicalop: dimension %q has no training values", name)
+	}
+	uniq := append([]float64(nil), values...)
+	sort.Float64s(uniq)
+	j := 0
+	for i := 1; i < len(uniq); i++ {
+		if uniq[i] != uniq[j] {
+			j++
+			uniq[j] = uniq[i]
+		}
+	}
+	uniq = uniq[:j+1]
+	m := DimensionMeta{Name: name, Min: uniq[0], Max: uniq[len(uniq)-1]}
+	if len(uniq) == 1 {
+		m.StepSize = math.Abs(uniq[0])
+		if m.StepSize == 0 {
+			m.StepSize = 1
+		}
+		return m, nil
+	}
+	for i := 1; i < len(uniq); i++ {
+		if gap := uniq[i] - uniq[i-1]; gap > m.StepSize {
+			m.StepSize = gap
+		}
+	}
+	if m.StepSize <= 0 {
+		m.StepSize = 1
+	}
+	return m, nil
+}
+
+// InRange reports whether v is within the trained coverage: inside
+// [Min-β·step, Max+β·step] or inside any island widened the same way.
+// β > 1 is the paper's out-of-range threshold multiplier.
+func (m DimensionMeta) InRange(v, beta float64) bool {
+	slack := beta * m.StepSize
+	if (Interval{Min: m.Min, Max: m.Max}).contains(v, slack) {
+		return true
+	}
+	for _, iv := range m.Islands {
+		if iv.contains(v, slack) {
+			return true
+		}
+	}
+	return false
+}
+
+// Absorb updates the metadata with newly observed trained values following
+// the paper's continuity rule: the main [Min, Max] range only expands when
+// the new values connect to it without leaving a gap wider than β·step;
+// otherwise the values are recorded as a disjoint island. Islands that a
+// later observation bridges are merged back into the main range.
+func (m *DimensionMeta) Absorb(values []float64, beta float64) {
+	if len(values) == 0 {
+		return
+	}
+	slack := beta * m.StepSize
+	vs := append([]float64(nil), values...)
+	sort.Float64s(vs)
+
+	intervals := append([]Interval{{Min: m.Min, Max: m.Max}}, m.Islands...)
+	for _, v := range vs {
+		merged := false
+		for i := range intervals {
+			if intervals[i].contains(v, slack) {
+				if v < intervals[i].Min {
+					intervals[i].Min = v
+				}
+				if v > intervals[i].Max {
+					intervals[i].Max = v
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			intervals = append(intervals, Interval{Min: v, Max: v})
+		}
+	}
+
+	// Coalesce intervals that now touch (within slack).
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i].Min < intervals[j].Min })
+	out := intervals[:1]
+	for _, iv := range intervals[1:] {
+		last := &out[len(out)-1]
+		if iv.Min <= last.Max+slack {
+			if iv.Max > last.Max {
+				last.Max = iv.Max
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+
+	// The interval containing the original main range stays the main range;
+	// everything else becomes islands.
+	mainIdx := 0
+	for i, iv := range out {
+		if iv.Min <= m.Min && iv.Max >= m.Max {
+			mainIdx = i
+			break
+		}
+	}
+	m.Min, m.Max = out[mainIdx].Min, out[mainIdx].Max
+	m.Islands = nil
+	for i, iv := range out {
+		if i != mainIdx {
+			m.Islands = append(m.Islands, iv)
+		}
+	}
+}
+
+// Span returns the width of the main trained range.
+func (m DimensionMeta) Span() float64 { return m.Max - m.Min }

@@ -1,0 +1,190 @@
+package logicalop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensionMeta(t *testing.T) {
+	m, err := NewDimensionMeta("row_size", []float64{100, 300, 200, 500, 400, 100})
+	if err != nil {
+		t.Fatalf("NewDimensionMeta: %v", err)
+	}
+	if m.Min != 100 || m.Max != 500 {
+		t.Errorf("range = [%v, %v], want [100, 500]", m.Min, m.Max)
+	}
+	if m.StepSize != 100 {
+		t.Errorf("step = %v, want 100 (median gap)", m.StepSize)
+	}
+}
+
+func TestNewDimensionMetaSingleValue(t *testing.T) {
+	m, err := NewDimensionMeta("d", []float64{7})
+	if err != nil {
+		t.Fatalf("NewDimensionMeta: %v", err)
+	}
+	if m.Min != 7 || m.Max != 7 || m.StepSize != 7 {
+		t.Errorf("meta = %+v", m)
+	}
+	m, _ = NewDimensionMeta("d", []float64{0})
+	if m.StepSize != 1 {
+		t.Errorf("zero-value step = %v, want 1 fallback", m.StepSize)
+	}
+}
+
+func TestNewDimensionMetaEmpty(t *testing.T) {
+	if _, err := NewDimensionMeta("d", nil); err == nil {
+		t.Error("empty values accepted")
+	}
+}
+
+func TestInRange(t *testing.T) {
+	// Figure 2's example: range [100, 1000], step 100, β = 2.
+	m := DimensionMeta{Name: "row_size", Min: 100, Max: 1000, StepSize: 100}
+	cases := []struct {
+		v    float64
+		want bool
+	}{
+		{500, true},
+		{100, true},
+		{1000, true},
+		{1150, true},   // within β·step slack
+		{1200, true},   // exactly at the slack edge
+		{1201, false},  // beyond it
+		{10000, false}, // Figure 2's "way off" example
+		{-150, false},
+	}
+	for _, c := range cases {
+		if got := m.InRange(c.v, 2); got != c.want {
+			t.Errorf("InRange(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestInRangeIslands(t *testing.T) {
+	m := DimensionMeta{
+		Name: "row_size", Min: 100, Max: 1000, StepSize: 100,
+		Islands: []Interval{{Min: 8000, Max: 10000}},
+	}
+	if !m.InRange(9000, 2) {
+		t.Error("island interior should be in range")
+	}
+	if !m.InRange(8100, 2) && !m.InRange(10100, 2) {
+		t.Error("island edges with slack should be in range")
+	}
+	if m.InRange(5000, 2) {
+		t.Error("gap between main range and island must stay out of range")
+	}
+}
+
+func TestAbsorbContinuousExpansion(t *testing.T) {
+	m := DimensionMeta{Name: "d", Min: 100, Max: 1000, StepSize: 100}
+	// 1100 and 1200 maintain continuity (each within β·step of the edge).
+	m.Absorb([]float64{1100, 1200}, 2)
+	if m.Max != 1200 {
+		t.Errorf("Max = %v, want 1200", m.Max)
+	}
+	if len(m.Islands) != 0 {
+		t.Errorf("unexpected islands %v", m.Islands)
+	}
+}
+
+func TestAbsorbBreaksContinuity(t *testing.T) {
+	// The paper's example: log entries at 8 000 and 10 000 bytes with range
+	// [100, 1000] leave the main range intact and record an island instead.
+	m := DimensionMeta{Name: "row_size", Min: 100, Max: 1000, StepSize: 100}
+	m.Absorb([]float64{8000, 10000}, 2)
+	if m.Min != 100 || m.Max != 1000 {
+		t.Errorf("main range changed to [%v, %v]", m.Min, m.Max)
+	}
+	if len(m.Islands) == 0 {
+		t.Fatal("expected islands for discontinuous values")
+	}
+	// 8000 and 10000 are themselves >β·step apart, so two islands.
+	if len(m.Islands) != 2 {
+		t.Errorf("got %d islands %v, want 2", len(m.Islands), m.Islands)
+	}
+	// A 6 000-byte query is still out of range → remedy triggers (paper's
+	// follow-up example).
+	if m.InRange(6000, 2) {
+		t.Error("6000 should remain out of range")
+	}
+}
+
+func TestAbsorbBridgesIsland(t *testing.T) {
+	m := DimensionMeta{Name: "d", Min: 100, Max: 1000, StepSize: 100}
+	m.Absorb([]float64{1500}, 2) // island at 1500 (gap 500 > 200)
+	if len(m.Islands) != 1 {
+		t.Fatalf("islands = %v", m.Islands)
+	}
+	// Filling the gap merges everything into the main range.
+	m.Absorb([]float64{1150, 1350}, 2)
+	if m.Max != 1500 || len(m.Islands) != 0 {
+		t.Errorf("after bridge: max = %v islands = %v", m.Max, m.Islands)
+	}
+}
+
+func TestAbsorbEmpty(t *testing.T) {
+	m := DimensionMeta{Name: "d", Min: 1, Max: 2, StepSize: 1}
+	m.Absorb(nil, 2)
+	if m.Min != 1 || m.Max != 2 {
+		t.Error("Absorb(nil) must be a no-op")
+	}
+}
+
+// Property: after Absorb, every absorbed value is InRange, and the main
+// range never shrinks.
+func TestAbsorbCoversProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		m := DimensionMeta{Name: "d", Min: 100, Max: 1000, StepSize: 100}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v != v || v > 1e9 || v < -1e9 { // NaN / extreme guard
+				continue
+			}
+			vals = append(vals, v)
+		}
+		m.Absorb(vals, 2)
+		if m.Min > 100 || m.Max < 1000 {
+			return false
+		}
+		for _, v := range vals {
+			if !m.InRange(v, 2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: islands never overlap the main range or each other after
+// absorption.
+func TestIslandsDisjointProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		m := DimensionMeta{Name: "d", Min: 0, Max: 10, StepSize: 1}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v != v || v > 1e6 || v < -1e6 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		m.Absorb(vals, 2)
+		ivs := append([]Interval{{Min: m.Min, Max: m.Max}}, m.Islands...)
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				if a.Min <= b.Max && b.Min <= a.Max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

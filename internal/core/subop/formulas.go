@@ -1,0 +1,246 @@
+package subop
+
+import (
+	"fmt"
+
+	"intellisphere/internal/plan"
+	"intellisphere/internal/remote"
+)
+
+// JoinCost evaluates the analytic cost formula of a physical join algorithm
+// in terms of the learned sub-operator models — the Figure 6 construction.
+// The formulas mirror the algorithms' workflows (driver work, task waves,
+// per-task sub-op sequences) but, unlike the real engine, cannot know about
+// intra-task pipelining; the paper observes exactly this slight systematic
+// overestimation (Figure 13(g)).
+func (ms *ModelSet) JoinCost(spec plan.JoinSpec, alg remote.JoinAlgorithm) (float64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, fmt.Errorf("subop: %w", err)
+	}
+	var sec float64
+	switch alg {
+	case remote.HiveBroadcastJoin, remote.SparkBroadcastHashJoin:
+		sec = ms.broadcastJoinCost(spec)
+	case remote.HiveBucketMapJoin:
+		sec = ms.bucketMapJoinCost(spec)
+	case remote.HiveSortMergeBucketJoin:
+		sec = ms.sortMergeBucketJoinCost(spec)
+	case remote.HiveSkewJoin:
+		sec = ms.shuffleJoinCost(spec) * 1.15
+	case remote.HiveShuffleJoin, remote.SparkSortMergeJoin:
+		sec = ms.shuffleJoinCost(spec)
+	case remote.SparkShuffleHashJoin:
+		sec = ms.shuffleHashJoinCost(spec)
+	case remote.SparkBroadcastNLJoin:
+		sec = ms.broadcastNLJoinCost(spec)
+	case remote.SparkCartesianJoin, remote.PrestoCrossJoin:
+		sec = ms.cartesianJoinCost(spec)
+	case remote.PrestoReplicatedJoin:
+		sec = ms.replicatedJoinCost(spec)
+	case remote.PrestoPartitionedJoin:
+		sec = ms.shuffleHashJoinCost(spec)
+	default:
+		return 0, fmt.Errorf("subop: no cost formula for algorithm %q", alg)
+	}
+	return ms.clamp(sec), nil
+}
+
+// clamp floors an estimate at a small positive latency: composed formulas
+// over noisy learned models can dip below zero on tiny inputs, and the
+// optimizer needs sane positive costs.
+func (ms *ModelSet) clamp(sec float64) float64 {
+	floor := ms.BaselineSec
+	if floor < 0.001 {
+		floor = 0.001
+	}
+	if sec < floor {
+		return floor
+	}
+	return sec
+}
+
+// broadcastJoinCost is the Figure 6 formula:
+//
+//	rD·|S| + b·|S| + NumTaskWaves·(rL·|S| + hI·|S| + rL·|Block(R)| +
+//	                               hP·|Block(R)| + wD·|TaskOutput|)
+func (ms *ModelSet) broadcastJoinCost(spec plan.JoinSpec) float64 {
+	s, _ := spec.SmallSide()
+	r := spec.BigSide()
+	outSize := spec.OutputRowSize()
+	inMem := ms.FitsInMemory(s.Bytes())
+
+	driverUS := s.Rows * (ms.PerRecord(remote.ReadDFS, s.RowSize, true) + ms.PerRecord(remote.Broadcast, s.RowSize, true))
+
+	tasks := ms.Cluster.NumTasks(r.Bytes())
+	waves := ms.Cluster.TaskWaves(tasks)
+	blockR := r.Rows / float64(tasks)
+	taskOut := spec.OutputRows / float64(tasks)
+	perTaskUS := s.Rows*(ms.PerRecord(remote.ReadLocal, s.RowSize, true)+ms.PerRecord(remote.HashBuild, s.RowSize, inMem)) +
+		blockR*(ms.PerRecord(remote.ReadLocal, r.RowSize, true)+ms.PerRecord(remote.HashProbe, r.RowSize, true)) +
+		taskOut*ms.PerRecord(remote.WriteDFS, outSize, true)
+
+	return ms.BaselineSec + driverUS/1e6 + float64(waves)*perTaskUS/1e6
+}
+
+// shuffleJoinCost models the redistribution (sort-merge) join: read and
+// shuffle both inputs, sort partitions, merge, write.
+func (ms *ModelSet) shuffleJoinCost(spec plan.JoinSpec) float64 {
+	outSize := spec.OutputRowSize()
+	mapBytes := spec.Left.Bytes() + spec.Right.Bytes()
+	mapTasks := ms.Cluster.NumTasks(mapBytes)
+	mapWaves := ms.Cluster.TaskWaves(mapTasks)
+	mapUS := spec.Left.Rows*(ms.PerRecord(remote.ReadDFS, spec.Left.RowSize, true)+ms.PerRecord(remote.Shuffle, spec.Left.RowSize, true)) +
+		spec.Right.Rows*(ms.PerRecord(remote.ReadDFS, spec.Right.RowSize, true)+ms.PerRecord(remote.Shuffle, spec.Right.RowSize, true))
+
+	redTasks := float64(ms.Cluster.Slots())
+	inRecs := spec.Left.Rows + spec.Right.Rows
+	redUS := spec.Left.Rows*ms.PerRecord(remote.Sort, spec.Left.RowSize, true) +
+		spec.Right.Rows*ms.PerRecord(remote.Sort, spec.Right.RowSize, true) +
+		inRecs*ms.PerRecord(remote.Scan, (spec.Left.RowSize+spec.Right.RowSize)/2, true) +
+		spec.OutputRows*(ms.PerRecord(remote.RecMerge, outSize, true)+ms.PerRecord(remote.WriteDFS, outSize, true))
+
+	return ms.BaselineSec + float64(mapWaves)*mapUS/float64(mapTasks)/1e6 + redUS/redTasks/1e6
+}
+
+// shuffleHashJoinCost replaces the reduce-side sort with hash build/probe.
+func (ms *ModelSet) shuffleHashJoinCost(spec plan.JoinSpec) float64 {
+	outSize := spec.OutputRowSize()
+	s, _ := spec.SmallSide()
+	r := spec.BigSide()
+	mapBytes := spec.Left.Bytes() + spec.Right.Bytes()
+	mapTasks := ms.Cluster.NumTasks(mapBytes)
+	mapWaves := ms.Cluster.TaskWaves(mapTasks)
+	mapUS := spec.Left.Rows*(ms.PerRecord(remote.ReadDFS, spec.Left.RowSize, true)+ms.PerRecord(remote.Shuffle, spec.Left.RowSize, true)) +
+		spec.Right.Rows*(ms.PerRecord(remote.ReadDFS, spec.Right.RowSize, true)+ms.PerRecord(remote.Shuffle, spec.Right.RowSize, true))
+
+	redTasks := float64(ms.Cluster.Slots())
+	inMem := ms.FitsInMemory(s.Bytes() / redTasks)
+	redUS := s.Rows*ms.PerRecord(remote.HashBuild, s.RowSize, inMem) +
+		r.Rows*ms.PerRecord(remote.HashProbe, r.RowSize, true) +
+		spec.OutputRows*(ms.PerRecord(remote.RecMerge, outSize, true)+ms.PerRecord(remote.WriteDFS, outSize, true))
+	return ms.BaselineSec + float64(mapWaves)*mapUS/float64(mapTasks)/1e6 + redUS/redTasks/1e6
+}
+
+// replicatedJoinCost mirrors Presto's replicated join: stream and
+// replicate the build side, hash-build per worker, pipeline the probe side.
+func (ms *ModelSet) replicatedJoinCost(spec plan.JoinSpec) float64 {
+	s, _ := spec.SmallSide()
+	r := spec.BigSide()
+	inMem := ms.FitsInMemory(s.Bytes())
+	outSize := spec.OutputRowSize()
+	tasks := ms.Cluster.NumTasks(r.Bytes())
+	waves := ms.Cluster.TaskWaves(tasks)
+	replicateUS := s.Rows * (ms.PerRecord(remote.ReadDFS, s.RowSize, true) + ms.PerRecord(remote.Broadcast, s.RowSize, true))
+	perTaskUS := s.Rows*ms.PerRecord(remote.HashBuild, s.RowSize, inMem) +
+		r.Rows/float64(tasks)*(ms.PerRecord(remote.ReadDFS, r.RowSize, true)+ms.PerRecord(remote.HashProbe, r.RowSize, true)) +
+		spec.OutputRows/float64(tasks)*ms.PerRecord(remote.WriteDFS, outSize, true)
+	return ms.BaselineSec + replicateUS/1e6 + float64(waves)*perTaskUS/1e6
+}
+
+// bucketMapJoinCost: each task reads only the matching bucket of S.
+func (ms *ModelSet) bucketMapJoinCost(spec plan.JoinSpec) float64 {
+	s, _ := spec.SmallSide()
+	r := spec.BigSide()
+	outSize := spec.OutputRowSize()
+	tasks := ms.Cluster.NumTasks(r.Bytes())
+	waves := ms.Cluster.TaskWaves(tasks)
+	buckets := float64(ms.Cluster.Slots())
+	bucketRecs := s.Rows / buckets
+	inMem := ms.FitsInMemory(s.Bytes() / buckets)
+	perTaskUS := bucketRecs*(ms.PerRecord(remote.ReadDFS, s.RowSize, true)+ms.PerRecord(remote.HashBuild, s.RowSize, inMem)) +
+		r.Rows/float64(tasks)*(ms.PerRecord(remote.ReadLocal, r.RowSize, true)+ms.PerRecord(remote.HashProbe, r.RowSize, true)) +
+		spec.OutputRows/float64(tasks)*ms.PerRecord(remote.WriteDFS, outSize, true)
+	return ms.BaselineSec + float64(waves)*perTaskUS/1e6
+}
+
+// sortMergeBucketJoinCost: map-only merge of co-located sorted buckets.
+func (ms *ModelSet) sortMergeBucketJoinCost(spec plan.JoinSpec) float64 {
+	outSize := spec.OutputRowSize()
+	totalBytes := spec.Left.Bytes() + spec.Right.Bytes()
+	tasks := ms.Cluster.NumTasks(totalBytes)
+	waves := ms.Cluster.TaskWaves(tasks)
+	totalUS := spec.Left.Rows*ms.PerRecord(remote.ReadDFS, spec.Left.RowSize, true) +
+		spec.Right.Rows*ms.PerRecord(remote.ReadDFS, spec.Right.RowSize, true) +
+		spec.OutputRows*(ms.PerRecord(remote.RecMerge, outSize, true)+ms.PerRecord(remote.WriteDFS, outSize, true))
+	return ms.BaselineSec + float64(waves)*totalUS/float64(tasks)/1e6
+}
+
+// broadcastNLJoinCost: broadcast the small side, scan it per probe record.
+func (ms *ModelSet) broadcastNLJoinCost(spec plan.JoinSpec) float64 {
+	s, _ := spec.SmallSide()
+	r := spec.BigSide()
+	outSize := spec.OutputRowSize()
+	driverUS := s.Rows * (ms.PerRecord(remote.ReadDFS, s.RowSize, true) + ms.PerRecord(remote.Broadcast, s.RowSize, true))
+	tasks := ms.Cluster.NumTasks(r.Bytes())
+	waves := ms.Cluster.TaskWaves(tasks)
+	blockR := r.Rows / float64(tasks)
+	perTaskUS := blockR*ms.PerRecord(remote.ReadLocal, r.RowSize, true) +
+		blockR*s.Rows*ms.PerRecord(remote.Scan, s.RowSize, true) +
+		spec.OutputRows/float64(tasks)*ms.PerRecord(remote.WriteDFS, outSize, true)
+	return ms.BaselineSec + driverUS/1e6 + float64(waves)*perTaskUS/1e6
+}
+
+// cartesianJoinCost: shuffle both sides, scan every pair.
+func (ms *ModelSet) cartesianJoinCost(spec plan.JoinSpec) float64 {
+	outSize := spec.OutputRowSize()
+	mapBytes := spec.Left.Bytes() + spec.Right.Bytes()
+	mapTasks := ms.Cluster.NumTasks(mapBytes)
+	mapWaves := ms.Cluster.TaskWaves(mapTasks)
+	mapUS := spec.Left.Rows*(ms.PerRecord(remote.ReadDFS, spec.Left.RowSize, true)+ms.PerRecord(remote.Shuffle, spec.Left.RowSize, true)) +
+		spec.Right.Rows*(ms.PerRecord(remote.ReadDFS, spec.Right.RowSize, true)+ms.PerRecord(remote.Shuffle, spec.Right.RowSize, true))
+	redTasks := float64(ms.Cluster.Slots())
+	redUS := spec.Left.Rows*spec.Right.Rows*ms.PerRecord(remote.Scan, (spec.Left.RowSize+spec.Right.RowSize)/2, true) +
+		spec.OutputRows*(ms.PerRecord(remote.RecMerge, outSize, true)+ms.PerRecord(remote.WriteDFS, outSize, true))
+	return ms.BaselineSec + float64(mapWaves)*mapUS/float64(mapTasks)/1e6 + redUS/redTasks/1e6
+}
+
+// SortOnlyCost prices sorting an already-materialized result of the given
+// shape (used by the optimizer for final ORDER BY steps): read the rows and
+// sort them across the cluster's streams.
+func (ms *ModelSet) SortOnlyCost(rows, rowSize float64) float64 {
+	if rows <= 0 || rowSize <= 0 {
+		return ms.clamp(0)
+	}
+	tasks := ms.Cluster.NumTasks(rows * rowSize)
+	waves := ms.Cluster.TaskWaves(tasks)
+	us := rows * (ms.PerRecord(remote.ReadDFS, rowSize, true) + ms.PerRecord(remote.Sort, rowSize, true))
+	return ms.clamp(ms.BaselineSec + float64(waves)*us/float64(tasks)/1e6)
+}
+
+// AggCost composes the aggregation formula: map-side read + scan + partial
+// hash aggregation, shuffle of the partials, reduce-side merge, write.
+func (ms *ModelSet) AggCost(spec plan.AggSpec) (float64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, fmt.Errorf("subop: %w", err)
+	}
+	mapTasks := ms.Cluster.NumTasks(spec.InputRows * spec.InputRowSize)
+	mapWaves := ms.Cluster.TaskWaves(mapTasks)
+	aggFactor := 1 + 0.15*float64(spec.NumAggregates)
+	inMem := ms.FitsInMemory(spec.OutputRows * spec.OutputRowSize)
+	mapUS := spec.InputRows * (ms.PerRecord(remote.ReadDFS, spec.InputRowSize, true) +
+		ms.PerRecord(remote.Scan, spec.InputRowSize, true)*aggFactor +
+		ms.PerRecord(remote.HashBuild, spec.InputRowSize, inMem)*0.35)
+
+	partials := spec.OutputRows * float64(mapTasks)
+	if partials > spec.InputRows {
+		partials = spec.InputRows
+	}
+	redTasks := float64(ms.Cluster.Slots())
+	redUS := partials*ms.PerRecord(remote.Shuffle, spec.OutputRowSize, true) +
+		partials*ms.PerRecord(remote.HashProbe, spec.OutputRowSize, true)*aggFactor +
+		spec.OutputRows*(ms.PerRecord(remote.RecMerge, spec.OutputRowSize, true)+ms.PerRecord(remote.WriteDFS, spec.OutputRowSize, true))
+
+	return ms.clamp(ms.BaselineSec + float64(mapWaves)*mapUS/float64(mapTasks)/1e6 + redUS/redTasks/1e6), nil
+}
+
+// ScanCost composes the filter/project scan formula.
+func (ms *ModelSet) ScanCost(spec plan.ScanSpec) (float64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, fmt.Errorf("subop: %w", err)
+	}
+	tasks := ms.Cluster.NumTasks(spec.InputRows * spec.InputRowSize)
+	waves := ms.Cluster.TaskWaves(tasks)
+	us := spec.InputRows*(ms.PerRecord(remote.ReadDFS, spec.InputRowSize, true)+ms.PerRecord(remote.Scan, spec.InputRowSize, true)) +
+		spec.OutputRows()*ms.PerRecord(remote.WriteDFS, spec.OutputRowSize, true)
+	return ms.clamp(ms.BaselineSec + float64(waves)*us/float64(tasks)/1e6), nil
+}

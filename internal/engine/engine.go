@@ -1,0 +1,452 @@
+// Package engine implements the master ("Teradata") engine of the
+// IntelliSphere architecture (Section 2): it owns the catalog of local and
+// foreign tables, registers remote systems with their costing profiles,
+// orchestrates the training phases (sub-op probing, logical-op workload
+// execution), plans every SQL query with the cost-based federated
+// optimizer, executes the chosen plan against the remote-system simulators,
+// feeds actual execution times back to the learning estimators (Figure 3's
+// logging phase), and — when the referenced tables are materialized —
+// computes real result rows with the row engine.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"intellisphere/internal/catalog"
+	"intellisphere/internal/cluster"
+	"intellisphere/internal/core"
+	"intellisphere/internal/core/hybrid"
+	"intellisphere/internal/core/logicalop"
+	"intellisphere/internal/core/subop"
+	"intellisphere/internal/nn"
+	"intellisphere/internal/optimizer"
+	"intellisphere/internal/plan"
+	"intellisphere/internal/querygrid"
+	"intellisphere/internal/remote"
+	"intellisphere/internal/rowengine"
+	"intellisphere/internal/sqlparse"
+	"intellisphere/internal/workload"
+)
+
+// Config tunes the master engine.
+type Config struct {
+	// Master is the master engine's own cluster shape; zero value selects a
+	// 2-node, 8-core parallel database.
+	Master cluster.Config
+	// Link is the default QueryGrid link; zero value selects 1 Gbit/s.
+	Link querygrid.LinkConfig
+	// Seed drives the master's own simulator noise.
+	Seed int64
+}
+
+// Engine is the master engine.
+type Engine struct {
+	mu           sync.Mutex
+	cat          *catalog.Catalog
+	grid         *querygrid.Grid
+	master       remote.System
+	remotes      map[string]remote.System
+	estimators   map[string]core.Estimator
+	materialized map[string]*rowengine.Table
+	opt          *optimizer.Optimizer
+}
+
+// New builds a master engine, spins up its own execution simulator, and
+// calibrates the master's cost model with a sub-op probe run (Teradata's
+// own costing "is based on the sub-op costing approach", Section 4).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Master.Name == "" {
+		cfg.Master = cluster.Config{
+			Name: querygrid.Master, Nodes: 2, DataNodes: 2, CoresPerNode: 8,
+			MemoryPerNode: 64 << 30, DFSBlockBytes: 64 << 20, Replication: 1, MemoryFraction: 0.5,
+		}
+	}
+	if cfg.Link.BandwidthBytesPerSec == 0 {
+		cfg.Link = querygrid.DefaultLink()
+	}
+	master, err := remote.NewRDBMS(querygrid.Master, cfg.Master, remote.Options{Seed: cfg.Seed, NoiseAmp: 0.02})
+	if err != nil {
+		return nil, fmt.Errorf("engine: build master simulator: %w", err)
+	}
+	grid, err := querygrid.New(cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cat:          catalog.New(),
+		grid:         grid,
+		master:       master,
+		remotes:      map[string]remote.System{querygrid.Master: master},
+		estimators:   map[string]core.Estimator{},
+		materialized: map[string]*rowengine.Table{},
+	}
+	ms, _, err := subop.Train(master, subop.TrainConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("engine: calibrate master cost model: %w", err)
+	}
+	selfEst, err := subop.NewEstimator(ms, remote.EngineHive, subop.InHouseComparable)
+	if err != nil {
+		return nil, err
+	}
+	e.estimators[querygrid.Master] = selfEst
+	e.opt = &optimizer.Optimizer{Catalog: e.cat, Grid: e.grid, Estimators: e.estimators}
+	return e, nil
+}
+
+// Catalog exposes the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Grid exposes the QueryGrid model.
+func (e *Engine) Grid() *querygrid.Grid { return e.grid }
+
+// Remote returns a registered remote system.
+func (e *Engine) Remote(name string) (remote.System, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sys, ok := e.remotes[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown remote system %q", name)
+	}
+	return sys, nil
+}
+
+// Estimator returns the cost estimator registered for a system.
+func (e *Engine) Estimator(name string) (core.Estimator, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	est, ok := e.estimators[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no estimator for system %q", name)
+	}
+	return est, nil
+}
+
+// Systems lists registered system names (master included), sorted.
+func (e *Engine) Systems() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.remotes))
+	for name := range e.remotes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterRemote adds a remote system with an already built estimator
+// (typically a hybrid.Estimator wrapping its costing profile).
+func (e *Engine) RegisterRemote(sys remote.System, est core.Estimator) error {
+	if sys == nil || est == nil {
+		return fmt.Errorf("engine: remote system and estimator are required")
+	}
+	name := sys.Name()
+	if name == querygrid.Master {
+		return fmt.Errorf("engine: %q is reserved for the master", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.remotes[name]; dup {
+		return fmt.Errorf("engine: remote %q already registered", name)
+	}
+	e.remotes[name] = sys
+	e.estimators[name] = est
+	return nil
+}
+
+// RegisterRemoteSubOp registers an openbox remote, running the sub-op probe
+// training and wrapping the learned models in a costing profile.
+func (e *Engine) RegisterRemoteSubOp(sys remote.System, kind remote.EngineKind, policy subop.ChoicePolicy) (*hybrid.Estimator, *subop.Report, error) {
+	ms, rep, err := subop.Train(sys, subop.TrainConfig{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: sub-op training for %q: %w", sys.Name(), err)
+	}
+	prof := &hybrid.Profile{
+		SystemName: sys.Name(), Engine: kind, Active: core.SubOp,
+		Policy: policy, SubOpModels: ms,
+	}
+	est, err := hybrid.NewEstimator(prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.RegisterRemote(sys, est); err != nil {
+		return nil, nil, err
+	}
+	return est, rep, nil
+}
+
+// LogicalTrainOptions controls blackbox training.
+type LogicalTrainOptions struct {
+	// JoinPairs caps the join training pairs (default 250; the paper used
+	// 1000, which works too but takes proportionally longer).
+	JoinPairs int
+	// TrainScan additionally trains a scan (filter/project) model — the
+	// paper trains join and aggregation; scans are a cheap extension of the
+	// same methodology.
+	TrainScan bool
+	// Config overrides the per-model logical-op configuration; zero value
+	// uses DefaultConfig for each operator's dimensionality.
+	Join, Agg, Scan logicalop.Config
+	// Seed drives workload sampling and network initialization.
+	Seed int64
+}
+
+// LogicalTrainReport summarizes a blackbox training run.
+type LogicalTrainReport struct {
+	JoinQueries, AggQueries, ScanQueries    int
+	JoinTrainSec, AggTrainSec, ScanTrainSec float64 // simulated remote time spent
+	JoinResult, AggResult, ScanResult       *nn.TrainResult
+}
+
+// RegisterRemoteLogicalOp registers a blackbox remote: it generates the
+// Figure 10 training workloads over the system's registered tables,
+// executes them on the remote (expensive — this is the paper's point),
+// trains the per-operator neural models, and wraps them in a profile.
+func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKind, opts LogicalTrainOptions) (*hybrid.Estimator, *LogicalTrainReport, error) {
+	tables := e.cat.BySystem(sys.Name())
+	if len(tables) < 2 {
+		return nil, nil, fmt.Errorf("engine: logical-op training needs at least 2 tables registered for %q, have %d", sys.Name(), len(tables))
+	}
+	if opts.JoinPairs <= 0 {
+		opts.JoinPairs = 250
+	}
+	rep := &LogicalTrainReport{}
+
+	aggQs, err := workload.AggTrainingSet(tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	aggRun, err := workload.RunAggSet(sys, aggQs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.AggQueries = len(aggQs)
+	rep.AggTrainSec = aggRun.TotalSec
+	aggCfg := opts.Agg
+	if aggCfg.NN.Network.InputDim == 0 {
+		aggCfg = logicalop.DefaultConfig(4, opts.Seed+1)
+	}
+	aggModel, aggRes, err := logicalop.Train("aggregation", plan.AggDimNames(), aggRun.X, aggRun.Y, aggCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.AggResult = aggRes
+
+	joinQs, err := workload.JoinTrainingSet(tables, opts.JoinPairs, opts.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	joinRun, err := workload.RunJoinSet(sys, joinQs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.JoinQueries = len(joinQs)
+	rep.JoinTrainSec = joinRun.TotalSec
+	joinCfg := opts.Join
+	if joinCfg.NN.Network.InputDim == 0 {
+		joinCfg = logicalop.DefaultConfig(7, opts.Seed+2)
+	}
+	joinModel, joinRes, err := logicalop.Train("join", plan.JoinDimNames(), joinRun.X, joinRun.Y, joinCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.JoinResult = joinRes
+
+	prof := &hybrid.Profile{
+		SystemName: sys.Name(), Engine: kind, Active: core.LogicalOp,
+		LogicalJoin: joinModel, LogicalAgg: aggModel,
+	}
+
+	if opts.TrainScan {
+		scanQs, err := workload.ScanTrainingSet(tables)
+		if err != nil {
+			return nil, nil, err
+		}
+		scanRun, err := workload.RunScanSet(sys, scanQs)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.ScanQueries = len(scanQs)
+		rep.ScanTrainSec = scanRun.TotalSec
+		scanCfg := opts.Scan
+		if scanCfg.NN.Network.InputDim == 0 {
+			scanCfg = logicalop.DefaultConfig(4, opts.Seed+3)
+		}
+		scanModel, scanRes, err := logicalop.Train("scan", logicalop.ScanDimNames(), scanRun.X, scanRun.Y, scanCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.ScanResult = scanRes
+		prof.LogicalScan = scanModel
+	}
+	est, err := hybrid.NewEstimator(prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.RegisterRemote(sys, est); err != nil {
+		return nil, nil, err
+	}
+	return est, rep, nil
+}
+
+// RegisterTable adds a table (local or foreign) to the catalog. Foreign
+// tables must name a registered remote system.
+func (e *Engine) RegisterTable(t *catalog.Table) error {
+	if t.System != "" {
+		e.mu.Lock()
+		_, ok := e.remotes[t.System]
+		e.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("engine: table %q references unregistered system %q", t.Name, t.System)
+		}
+	}
+	return e.cat.Register(t)
+}
+
+// Materialize generates actual rows for a registered table so queries over
+// it return results, not just costs. Limited to small tables.
+func (e *Engine) Materialize(name string) error {
+	t, err := e.cat.Lookup(name)
+	if err != nil {
+		return err
+	}
+	tb, err := rowengine.Materialize(name, t.Rows)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materialized[name] = tb
+	return nil
+}
+
+// QueryResult is one executed federated query.
+type QueryResult struct {
+	Plan *optimizer.Plan
+	// ActualSec is the total simulated execution time (operators plus
+	// transfers).
+	ActualSec float64
+	// StepActuals aligns with Plan.Steps.
+	StepActuals []float64
+	// Rows holds real results when every referenced table is materialized;
+	// nil otherwise (statistics-only execution).
+	Rows *rowengine.Result
+}
+
+// Explain plans a query and renders the plan without executing it.
+func (e *Engine) Explain(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	p, err := e.opt.Plan(stmt)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Query plans and executes a SQL statement across the federation.
+func (e *Engine) Query(sql string) (*QueryResult, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.opt.Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Plan: p}
+	for _, step := range p.Steps {
+		actual, err := e.executeStep(step)
+		if err != nil {
+			return nil, err
+		}
+		res.StepActuals = append(res.StepActuals, actual)
+		res.ActualSec += actual
+	}
+	// Row-level answers when every referenced table is materialized.
+	if rows, ok := e.materializedFor(stmt); ok {
+		out, err := rowengine.Execute(stmt, rows)
+		if err != nil {
+			return nil, fmt.Errorf("engine: row execution: %w", err)
+		}
+		res.Rows = out
+	}
+	return res, nil
+}
+
+// executeStep runs one plan step on the simulators and feeds the actual
+// cost back to the estimator (the logging phase of Figure 3).
+func (e *Engine) executeStep(step optimizer.Step) (float64, error) {
+	if step.Kind == "transfer" {
+		// Network behaviour is learned elsewhere (Section 2's scope); the
+		// grid estimate doubles as the simulated actual.
+		return step.EstimatedSec, nil
+	}
+	e.mu.Lock()
+	sys, ok := e.remotes[step.System]
+	est := e.estimators[step.System]
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("engine: plan step targets unknown system %q", step.System)
+	}
+	var ex remote.Execution
+	var err error
+	switch step.Kind {
+	case "join":
+		ex, err = sys.ExecuteJoin(*step.Join)
+	case "aggregation":
+		ex, err = sys.ExecuteAgg(*step.Agg)
+	case "scan":
+		ex, err = sys.ExecuteScan(*step.Scan)
+	case "sort":
+		// The final ORDER BY runs where the result landed; a sort probe
+		// (read + sort of the result shape) is exactly that work.
+		rows, size := step.Rows, step.RowSize
+		if rows < 1 {
+			rows = 1
+		}
+		if size < 1 {
+			size = 1
+		}
+		ex, err = sys.ExecuteProbe(remote.Probe{Target: remote.Sort, Records: rows, RecordSize: size})
+	default:
+		return 0, fmt.Errorf("engine: unknown step kind %q", step.Kind)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("engine: execute %s on %q: %w", step.Kind, step.System, err)
+	}
+	if fb, ok := est.(core.Feedback); ok {
+		switch step.Kind {
+		case "join":
+			fb.ObserveJoin(*step.Join, ex.ElapsedSec)
+		case "aggregation":
+			fb.ObserveAgg(*step.Agg, ex.ElapsedSec)
+		case "scan":
+			fb.ObserveScan(*step.Scan, ex.ElapsedSec)
+		}
+	}
+	return ex.ElapsedSec, nil
+}
+
+// materializedFor collects the materialized tables a statement references;
+// ok is false if any is missing.
+func (e *Engine) materializedFor(stmt *sqlparse.SelectStmt) (map[string]*rowengine.Table, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := []string{stmt.From.Name}
+	for i := range stmt.Joins {
+		names = append(names, stmt.Joins[i].Table.Name)
+	}
+	out := map[string]*rowengine.Table{}
+	for _, n := range names {
+		t, ok := e.materialized[n]
+		if !ok {
+			return nil, false
+		}
+		out[n] = t
+	}
+	return out, true
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"intellisphere/internal/core/hybrid"
+	"intellisphere/internal/nn"
+	"intellisphere/internal/querygrid"
+	"intellisphere/internal/remote"
+)
+
+// This file implements the operational lifecycle around the costing
+// profiles: persisting and restoring them (the CP of Figure 9 survives
+// master restarts), calibrating QueryGrid links from probe transfers, and
+// triggering the periodic offline tuning phase of Section 3.
+
+// SaveProfile serializes a registered remote's costing profile to path.
+// Only remotes registered with a hybrid (profile-backed) estimator can be
+// saved.
+func (e *Engine) SaveProfile(system, path string) error {
+	est, err := e.Estimator(system)
+	if err != nil {
+		return err
+	}
+	h, ok := est.(*hybrid.Estimator)
+	if !ok {
+		return fmt.Errorf("engine: system %q has no costing profile to save", system)
+	}
+	data, err := json.MarshalIndent(h.Profile(), "", " ")
+	if err != nil {
+		return fmt.Errorf("engine: serialize profile for %q: %w", system, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("engine: write profile: %w", err)
+	}
+	return nil
+}
+
+// RegisterRemoteFromProfile registers a remote system with a costing
+// profile previously saved by SaveProfile — skipping every training phase.
+// The profile's system name must match the remote's.
+func (e *Engine) RegisterRemoteFromProfile(sys remote.System, path string) (*hybrid.Estimator, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: read profile: %w", err)
+	}
+	var prof hybrid.Profile
+	if err := json.Unmarshal(data, &prof); err != nil {
+		return nil, fmt.Errorf("engine: decode profile: %w", err)
+	}
+	if prof.SystemName != sys.Name() {
+		return nil, fmt.Errorf("engine: profile names system %q, remote is %q", prof.SystemName, sys.Name())
+	}
+	est, err := hybrid.NewEstimator(&prof)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.RegisterRemote(sys, est); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// CalibrateLink times probe transfers over the given measure function, fits
+// the link's bandwidth/latency/per-row overhead, and installs the result as
+// the QueryGrid link for the named remote system.
+func (e *Engine) CalibrateLink(system string, measure querygrid.MeasureFunc) (querygrid.LinkConfig, error) {
+	if _, err := e.Remote(system); err != nil {
+		return querygrid.LinkConfig{}, err
+	}
+	cfg, err := querygrid.Calibrate(measure, querygrid.CalibrateConfig{})
+	if err != nil {
+		return querygrid.LinkConfig{}, err
+	}
+	if err := e.grid.SetLink(system, cfg); err != nil {
+		return querygrid.LinkConfig{}, err
+	}
+	return cfg, nil
+}
+
+// TuneReport summarizes one offline tuning pass over a remote's logical
+// models.
+type TuneReport struct {
+	JoinTuned, AggTuned, ScanTuned bool
+	Alpha                          float64
+	AlphaRecords                   int
+}
+
+// TuneSystem runs the offline batch tuning phase (Section 3) on a remote's
+// logical-op models: each model with pending logged executions re-fits α
+// from the remedy records and folds the log into its network, expanding the
+// trained ranges under the continuity rule. Models without pending logs are
+// skipped.
+func (e *Engine) TuneSystem(system string, tc nn.TrainConfig) (*TuneReport, error) {
+	est, err := e.Estimator(system)
+	if err != nil {
+		return nil, err
+	}
+	h, ok := est.(*hybrid.Estimator)
+	if !ok {
+		return nil, fmt.Errorf("engine: system %q has no tunable profile", system)
+	}
+	prof := h.Profile()
+	rep := &TuneReport{}
+	tune := func(m interface {
+		PendingLog() int
+		RefitAlpha() (float64, int)
+		OfflineTune(nn.TrainConfig) (*nn.TrainResult, error)
+		Alpha() float64
+	}) (bool, error) {
+		if m == nil || m.PendingLog() == 0 {
+			return false, nil
+		}
+		a, n := m.RefitAlpha()
+		rep.Alpha, rep.AlphaRecords = a, rep.AlphaRecords+n
+		if _, err := m.OfflineTune(tc); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if prof.LogicalJoin != nil {
+		if rep.JoinTuned, err = tune(prof.LogicalJoin); err != nil {
+			return nil, fmt.Errorf("engine: tune %q join model: %w", system, err)
+		}
+	}
+	if prof.LogicalAgg != nil {
+		if rep.AggTuned, err = tune(prof.LogicalAgg); err != nil {
+			return nil, fmt.Errorf("engine: tune %q aggregation model: %w", system, err)
+		}
+	}
+	if prof.LogicalScan != nil {
+		if rep.ScanTuned, err = tune(prof.LogicalScan); err != nil {
+			return nil, fmt.Errorf("engine: tune %q scan model: %w", system, err)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogOutputAblation(t *testing.T) {
+	env := quickEnv(t)
+	res, err := RunLogOutputAblation(env)
+	if err != nil {
+		t.Fatalf("RunLogOutputAblation: %v", err)
+	}
+	// Costs span orders of magnitude; log-space targets should win on the
+	// relative error of the bulk of the workload (this is why they are the
+	// default), while staying competitive on the big-join-dominated RMSE%.
+	if res.LogMedRelErr >= res.RawMedRelErr {
+		t.Errorf("log targets median rel err (%.3f) did not beat raw (%.3f)", res.LogMedRelErr, res.RawMedRelErr)
+	}
+	if res.LogRMSEPct > res.RawRMSEPct*1.5 {
+		t.Errorf("log targets RMSE%% (%.2f) collapsed vs raw (%.2f)", res.LogRMSEPct, res.RawRMSEPct)
+	}
+	if !strings.Contains(res.String(), "log-output ablation") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestAlphaAblation(t *testing.T) {
+	env := quickEnv(t)
+	res, err := RunAlphaAblation(env)
+	if err != nil {
+		t.Fatalf("RunAlphaAblation: %v", err)
+	}
+	if res.FinalAlpha <= 0 || res.FinalAlpha >= 1 {
+		t.Errorf("final α = %v", res.FinalAlpha)
+	}
+	// Adaptive should be at least competitive with the fixed setting
+	// (Table 1 shows it winning; allow a small tolerance for the quick
+	// configuration).
+	if res.AdaptiveRMSEPct > res.FixedRMSEPct*1.15 {
+		t.Errorf("adaptive α RMSE%% (%.2f) much worse than fixed (%.2f)", res.AdaptiveRMSEPct, res.FixedRMSEPct)
+	}
+}
+
+func TestPolicyAblation(t *testing.T) {
+	env := quickEnv(t)
+	res, err := RunPolicyAblation(env)
+	if err != nil {
+		t.Fatalf("RunPolicyAblation: %v", err)
+	}
+	if res.N == 0 {
+		t.Fatal("no ambiguous joins generated")
+	}
+	// The in-house-comparable policy mirrors the engine's own cost-based
+	// selection, so it must not lose to worst-case.
+	if res.InHousePct > res.WorstPct {
+		t.Errorf("in-house RMSE%% (%.2f) worse than worst-case (%.2f)", res.InHousePct, res.WorstPct)
+	}
+}
+
+func TestNeighborKAblation(t *testing.T) {
+	env := quickEnv(t)
+	res, err := RunNeighborKAblation(env, []int{4, 8, 16})
+	if err != nil {
+		t.Fatalf("RunNeighborKAblation: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.RMSEPct <= 0 {
+			t.Errorf("k=%d RMSE%% = %v", row.K, row.RMSEPct)
+		}
+	}
+	if !strings.Contains(res.String(), "k=8") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestTopologyAblation(t *testing.T) {
+	cfg := Quick()
+	cfg.NNIterations = 200 // the search trains ~a dozen candidates
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTopologyAblation(env)
+	if err != nil {
+		t.Fatalf("RunTopologyAblation: %v", err)
+	}
+	if res.TopologiesTried == 0 {
+		t.Fatal("no topologies tried")
+	}
+	// The paper's constraints on the searched space.
+	if res.BestHidden[0] < 4 || res.BestHidden[0] > 8 {
+		t.Errorf("best layer1 = %d out of [d, 2d]", res.BestHidden[0])
+	}
+	// The cross-validated choice must be competitive with the fixed default
+	// (it optimizes held-out error on its own split, so small regressions on
+	// this split are possible — allow 40% slack).
+	if res.BestRMSEPct > res.FixedRMSEPct*1.4 {
+		t.Errorf("cross-validated topology RMSE%% (%.2f) much worse than fixed (%.2f)",
+			res.BestRMSEPct, res.FixedRMSEPct)
+	}
+	if !strings.Contains(res.String(), "topology ablation") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestTrainingSizeCurve(t *testing.T) {
+	env := quickEnv(t)
+	res, err := RunTrainingSizeCurve(env, []float64{0.1, 0.5, 1.0})
+	if err != nil {
+		t.Fatalf("RunTrainingSizeCurve: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Spend grows with the prefix; quality improves from the smallest to
+	// the full training set (the economic tension behind the hybrid CP).
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.Queries >= last.Queries || first.TrainSec >= last.TrainSec {
+		t.Errorf("spend not growing: %+v", res.Points)
+	}
+	if last.RMSEPct >= first.RMSEPct {
+		t.Errorf("full training (%.2f%%) did not beat the 10%% prefix (%.2f%%)", last.RMSEPct, first.RMSEPct)
+	}
+	if !strings.Contains(res.String(), "training spend") {
+		t.Error("String() incomplete")
+	}
+}

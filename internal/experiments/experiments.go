@@ -1,0 +1,188 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) against the simulated Hive remote system: the
+// logical-operator training cost, convergence, and accuracy plots
+// (Figures 11 and 12), the sub-operator training and model plots
+// (Figures 7 and 13), the out-of-range prediction comparison (Figure 14),
+// and the α auto-adjustment table (Table 1). Each experiment returns a
+// typed result whose String method prints the same rows/series the paper
+// reports; cmd/experiments drives them and bench_test.go wraps each in a
+// benchmark.
+package experiments
+
+import (
+	"fmt"
+
+	"intellisphere/internal/catalog"
+	"intellisphere/internal/cluster"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/nn"
+	"intellisphere/internal/remote"
+	"intellisphere/internal/stats"
+)
+
+// Config scales an experiment run. Full() reproduces the paper's workload
+// sizes; Quick() shrinks them for tests and benchmarks while preserving
+// every qualitative shape.
+type Config struct {
+	// Seed drives workload sampling, noise, and network initialization.
+	Seed int64
+	// NoiseAmp is the remote simulator's multiplicative noise amplitude.
+	NoiseAmp float64
+	// JoinPairs is the number of join training pairs (paper: 1000 → 4000
+	// queries with the four selectivities).
+	JoinPairs int
+	// MaxTableRows caps which Figure 10 tables participate (0 = all 120).
+	MaxTableRows int64
+	// NNIterations is the total training epochs per neural model.
+	NNIterations int
+	// ConvergenceSamples is how many RMSE% checkpoints the convergence
+	// curves record.
+	ConvergenceSamples int
+	// OutOfRangeCount is the Figure 14 suite size (paper: 45).
+	OutOfRangeCount int
+}
+
+// Full reproduces the paper's scale.
+func Full() Config {
+	return Config{
+		Seed:               7,
+		NoiseAmp:           0.03,
+		JoinPairs:          1000,
+		NNIterations:       2000,
+		ConvergenceSamples: 20,
+		OutOfRangeCount:    45,
+	}
+}
+
+// Quick shrinks the workloads for fast regression runs.
+func Quick() Config {
+	return Config{
+		Seed:               7,
+		NoiseAmp:           0.02,
+		JoinPairs:          120,
+		MaxTableRows:       8_000_000,
+		NNIterations:       400,
+		ConvergenceSamples: 8,
+		OutOfRangeCount:    45,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.JoinPairs <= 0 {
+		c.JoinPairs = 1000
+	}
+	if c.NNIterations <= 0 {
+		c.NNIterations = 2000
+	}
+	if c.ConvergenceSamples <= 0 {
+		c.ConvergenceSamples = 10
+	}
+	if c.OutOfRangeCount <= 0 {
+		c.OutOfRangeCount = 45
+	}
+	if c.NoiseAmp == 0 {
+		c.NoiseAmp = 0.03
+	}
+}
+
+// Env is the shared experimental setup: the simulated Hive cluster of the
+// paper's evaluation plus the Figure 10 tables.
+type Env struct {
+	Cfg    Config
+	Hive   *remote.Distributed
+	Tables []*catalog.Table
+}
+
+// NewEnv builds the evaluation environment.
+func NewEnv(cfg Config) (*Env, error) {
+	cfg.normalize()
+	hive, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{
+		NoiseAmp: cfg.NoiseAmp, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	all, err := datagen.Tables("hive")
+	if err != nil {
+		return nil, err
+	}
+	tables := all
+	if cfg.MaxTableRows > 0 {
+		tables = nil
+		for _, t := range all {
+			if t.Rows <= cfg.MaxTableRows {
+				tables = append(tables, t)
+			}
+		}
+	}
+	if len(tables) < 2 {
+		return nil, fmt.Errorf("experiments: table cap %d leaves %d tables", cfg.MaxTableRows, len(tables))
+	}
+	return &Env{Cfg: cfg, Hive: hive, Tables: tables}, nil
+}
+
+// ConvPoint is one convergence checkpoint (Figures 11(b)/12(b)).
+type ConvPoint struct {
+	Iterations int
+	RMSEPct    float64
+}
+
+// trainWithConvergence trains a fresh regressor in chunks, recording the
+// paper's RMSE% metric (on the training set, in raw seconds) after each
+// chunk — the convergence curves of Figures 11(b) and 12(b).
+func trainWithConvergence(x [][]float64, y []float64, netCfg nn.Config, train nn.TrainConfig, totalIters, samples int) (*nn.Regressor, []ConvPoint, error) {
+	chunk := totalIters / samples
+	if chunk < 1 {
+		chunk = 1
+	}
+	first := train
+	first.Iterations = chunk
+	reg, _, err := nn.TrainRegressor(x, y, nn.RegressorConfig{Network: netCfg, Train: first, LogOutput: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	var curve []ConvPoint
+	record := func(iters int) error {
+		pct, err := stats.RMSEPercent(reg.PredictAll(x), y)
+		if err != nil {
+			return err
+		}
+		curve = append(curve, ConvPoint{Iterations: iters, RMSEPct: pct})
+		return nil
+	}
+	if err := record(chunk); err != nil {
+		return nil, nil, err
+	}
+	done := chunk
+	for done < totalIters {
+		step := chunk
+		if done+step > totalIters {
+			step = totalIters - done
+		}
+		tc := train
+		tc.Iterations = step
+		tc.Seed = train.Seed + int64(done)
+		if _, err := reg.Retrain(x, y, tc); err != nil {
+			return nil, nil, err
+		}
+		done += step
+		if err := record(done); err != nil {
+			return nil, nil, err
+		}
+	}
+	return reg, curve, nil
+}
+
+// accuracyLine fits predicted = slope·actual + intercept, the annotation the
+// paper places on its scatter plots.
+func accuracyLine(predicted, actual []float64) (stats.Line, float64, error) {
+	line, err := stats.FitLine(actual, predicted)
+	if err != nil {
+		return stats.Line{}, 0, err
+	}
+	pct, err := stats.RMSEPercent(predicted, actual)
+	if err != nil {
+		return stats.Line{}, 0, err
+	}
+	return line, pct, nil
+}

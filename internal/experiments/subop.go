@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"intellisphere/internal/core/subop"
+	"intellisphere/internal/plan"
+	"intellisphere/internal/remote"
+	"intellisphere/internal/stats"
+)
+
+// SubOpResult reproduces Figures 7 and 13: the sub-operator training cost
+// (13a), the per-record flatness across record counts (7a, 13b), the fitted
+// per-record linear models (7b, 13c–e), the HashBuild two-regime model
+// (13f), and the composed merge-join formula accuracy (13g).
+type SubOpResult struct {
+	Report *subop.Report
+	Models *subop.ModelSet
+	// TrainingCurve is Figure 13(a): cumulative probe-training minutes as
+	// sub-operators are learned.
+	TrainingCurve []TrainPoint
+	// MergeJoinLine/RMSEPct is Figure 13(g): composed-formula estimates
+	// against actual shuffle (merge) join executions.
+	MergeJoinLine    stats.Line
+	MergeJoinRMSEPct float64
+	MergeJoinPoints  int
+}
+
+// String prints the figure rows.
+func (r *SubOpResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sub-operator evaluation (%d probe queries, %.1f simulated minutes, baseline %.2fs)\n",
+		r.Report.TotalCount, r.Report.TotalSec/60, r.Report.BaselineSec)
+	b.WriteString("(a) training cost:\n")
+	for _, p := range r.TrainingCurve {
+		fmt.Fprintf(&b, "      %4d queries  %8.2f min\n", p.Queries, p.CumulativeSec/60)
+	}
+	b.WriteString("(b-f) learned per-record models (µs vs record size):\n")
+	for _, sr := range r.Report.SubOps {
+		fmt.Fprintf(&b, "      %-10s %s\n", sr.Target, sr.Line)
+		if sr.SpillLine != nil {
+			fmt.Fprintf(&b, "      %-10s %s  (spill regime)\n", "", *sr.SpillLine)
+		}
+	}
+	b.WriteString("    per-record flatness across record counts (ReadDFS @ largest size):\n")
+	for _, sr := range r.Report.SubOps {
+		if sr.Target != remote.ReadDFS {
+			continue
+		}
+		for _, p := range sr.PerCount {
+			fmt.Fprintf(&b, "      %10.0f records  %6.3f µs/record\n", p.Records, p.PerRecordUS)
+		}
+	}
+	fmt.Fprintf(&b, "(g) merge-join formula accuracy over %d joins: %s  (RMSE%% %.2f)\n",
+		r.MergeJoinPoints, r.MergeJoinLine, r.MergeJoinRMSEPct)
+	return b.String()
+}
+
+// RunFig13 reproduces the full sub-op evaluation (Figure 13; Figure 7 is
+// the ReadDFS slice of the same run).
+func RunFig13(env *Env) (*SubOpResult, error) {
+	models, report, err := subop.Train(env.Hive, subop.TrainConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res := &SubOpResult{Report: report, Models: models}
+	cum := 0.0
+	queries := 0
+	for _, sr := range report.SubOps {
+		queries += sr.Queries
+		cum += sr.TrainSec
+		res.TrainingCurve = append(res.TrainingCurve, TrainPoint{Queries: queries, CumulativeSec: cum})
+	}
+
+	// Figure 13(g): sweep both-large joins (the remote picks its
+	// shuffle/merge join), compare the composed formula against actuals.
+	var est, actual []float64
+	for _, rows := range []float64{2e6, 4e6, 6e6, 8e6, 12e6, 16e6} {
+		for _, size := range []float64{70, 100, 250, 500} {
+			spec := plan.JoinSpec{
+				Left:       plan.TableSide{Rows: rows, RowSize: size, ProjectedSize: 28, KeyNDV: rows},
+				Right:      plan.TableSide{Rows: rows / 2, RowSize: size, ProjectedSize: 28, KeyNDV: rows / 2},
+				OutputRows: rows / 4,
+			}
+			ex, err := env.Hive.ExecuteJoinWith(spec, remote.HiveShuffleJoin)
+			if err != nil {
+				return nil, err
+			}
+			c, err := models.JoinCost(spec, remote.HiveShuffleJoin)
+			if err != nil {
+				return nil, err
+			}
+			actual = append(actual, ex.ElapsedSec)
+			est = append(est, c)
+		}
+	}
+	res.MergeJoinPoints = len(est)
+	res.MergeJoinLine, res.MergeJoinRMSEPct, err = accuracyLine(est, actual)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig7Result is the ReadDFS slice of the sub-op run (Figure 7).
+type Fig7Result struct {
+	// Flatness is panel (a): per-record time across record counts at
+	// 1000-byte records.
+	Flatness []subop.CountPoint
+	// Model is panel (b): the fitted per-record line (the paper reports
+	// y = 0.0041x + 0.6323).
+	Model stats.Line
+}
+
+// String prints the figure rows.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("ReadDFS sub-op model (Figure 7)\n(a) per-record time across record counts (1000-B records):\n")
+	for _, p := range r.Flatness {
+		fmt.Fprintf(&b, "      %10.0f records  %6.3f µs/record\n", p.Records, p.PerRecordUS)
+	}
+	fmt.Fprintf(&b, "(b) model: %s\n", r.Model)
+	return b.String()
+}
+
+// RunFig7 reproduces Figure 7 from a sub-op training run.
+func RunFig7(env *Env) (*Fig7Result, error) {
+	_, report, err := subop.Train(env.Hive, subop.TrainConfig{})
+	if err != nil {
+		return nil, err
+	}
+	for _, sr := range report.SubOps {
+		if sr.Target == remote.ReadDFS {
+			return &Fig7Result{Flatness: sr.PerCount, Model: sr.Line}, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: ReadDFS missing from sub-op report")
+}

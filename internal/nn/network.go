@@ -1,0 +1,255 @@
+// Package nn implements the small feed-forward neural networks the paper's
+// logical-operator costing approach trains per SQL operator (Section 3).
+// The networks are deliberately modest — the paper fixes two hidden layers
+// and sizes them by cross validation between the input dimensionality d and
+// 2d — so everything here is plain stdlib Go: dense layers, tanh/ReLU/
+// sigmoid activations, SGD-with-momentum and Adam trainers, min-max (and
+// optionally log-space) normalization, and the cross-validation topology
+// search described in the paper.
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Tanh Activation = iota
+	ReLU
+	Sigmoid
+	Identity
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Identity:
+		return "identity"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivative computes the activation derivative given the activation OUTPUT
+// value (cheaper than recomputing from the pre-activation).
+func (a Activation) derivative(out float64) float64 {
+	switch a {
+	case Tanh:
+		return 1 - out*out
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return out * (1 - out)
+	default:
+		return 1
+	}
+}
+
+// Config describes a network: input width, hidden layer sizes, and the
+// hidden-layer activation. The output layer is a single linear neuron, as
+// the models regress one value (the elapsed execution time).
+type Config struct {
+	InputDim   int        `json:"input_dim"`
+	Hidden     []int      `json:"hidden"`
+	Activation Activation `json:"activation"`
+	Seed       int64      `json:"seed"`
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.InputDim <= 0 {
+		return fmt.Errorf("nn: input dimension %d must be positive", c.InputDim)
+	}
+	if len(c.Hidden) == 0 {
+		return errors.New("nn: at least one hidden layer is required")
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("nn: hidden layer %d has non-positive width %d", i, h)
+		}
+	}
+	return nil
+}
+
+// layer is one dense layer: out = act(W·in + b).
+type layer struct {
+	W   [][]float64 // [outDim][inDim]
+	B   []float64   // [outDim]
+	Act Activation
+}
+
+func newLayer(in, out int, act Activation, rng *rand.Rand) *layer {
+	l := &layer{
+		W:   make([][]float64, out),
+		B:   make([]float64, out),
+		Act: act,
+	}
+	// Xavier/Glorot uniform initialization keeps tiny tanh networks trainable.
+	limit := math.Sqrt(6 / float64(in+out))
+	for o := range l.W {
+		l.W[o] = make([]float64, in)
+		for i := range l.W[o] {
+			l.W[o][i] = (rng.Float64()*2 - 1) * limit
+		}
+	}
+	return l
+}
+
+func (l *layer) forward(in []float64, out []float64) {
+	for o := range l.W {
+		s := l.B[o]
+		row := l.W[o]
+		for i, v := range in {
+			s += row[i] * v
+		}
+		out[o] = l.Act.apply(s)
+	}
+}
+
+// Network is a feed-forward regression network with one linear output.
+type Network struct {
+	cfg    Config
+	layers []*layer
+	// scratch buffers sized once to avoid per-forward allocations
+	acts [][]float64
+}
+
+// New constructs a network with randomly initialized weights drawn from the
+// seeded generator in cfg.Seed, so construction is fully deterministic.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{cfg: cfg}
+	prev := cfg.InputDim
+	for _, h := range cfg.Hidden {
+		n.layers = append(n.layers, newLayer(prev, h, cfg.Activation, rng))
+		prev = h
+	}
+	n.layers = append(n.layers, newLayer(prev, 1, Identity, rng))
+	n.acts = make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		n.acts[i] = make([]float64, len(l.W))
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumParams returns the total number of weights and biases.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.B)
+		for _, row := range l.W {
+			total += len(row)
+		}
+	}
+	return total
+}
+
+// Forward runs inference on a single (already normalized) input vector and
+// returns the raw network output.
+func (n *Network) Forward(x []float64) float64 {
+	if len(x) != n.cfg.InputDim {
+		panic(fmt.Sprintf("nn: Forward with %d inputs on a %d-input network", len(x), n.cfg.InputDim))
+	}
+	in := x
+	for i, l := range n.layers {
+		l.forward(in, n.acts[i])
+		in = n.acts[i]
+	}
+	return in[0]
+}
+
+// forwardStore runs a forward pass writing the activations of every layer
+// into dst (pre-sized like n.acts) and returns the output.
+func (n *Network) forwardStore(x []float64, dst [][]float64) float64 {
+	in := x
+	for i, l := range n.layers {
+		l.forward(in, dst[i])
+		in = dst[i]
+	}
+	return in[0]
+}
+
+// snapshot is the serializable form of a network.
+type snapshot struct {
+	Config Config      `json:"config"`
+	Layers []layerSnap `json:"layers"`
+}
+
+type layerSnap struct {
+	W   [][]float64 `json:"w"`
+	B   []float64   `json:"b"`
+	Act Activation  `json:"act"`
+}
+
+// MarshalJSON serializes the full network (topology + weights) so trained
+// models can be stored inside a remote system's costing profile.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	s := snapshot{Config: n.cfg}
+	for _, l := range n.layers {
+		s.Layers = append(s.Layers, layerSnap{W: l.W, B: l.B, Act: l.Act})
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON restores a network serialized by MarshalJSON.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("nn: decode network: %w", err)
+	}
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if len(s.Layers) != len(s.Config.Hidden)+1 {
+		return fmt.Errorf("nn: snapshot has %d layers, config wants %d", len(s.Layers), len(s.Config.Hidden)+1)
+	}
+	n.cfg = s.Config
+	n.layers = nil
+	for _, ls := range s.Layers {
+		l := &layer{W: ls.W, B: ls.B, Act: ls.Act}
+		n.layers = append(n.layers, l)
+	}
+	n.acts = make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		n.acts[i] = make([]float64, len(l.W))
+	}
+	return nil
+}

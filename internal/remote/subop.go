@@ -1,0 +1,301 @@
+// Package remote implements the simulated remote systems that stand in for
+// the paper's Hive/Hadoop evaluation cluster (and the SparkSQL / RDBMS
+// systems the paper names as future targets). A remote system receives a
+// SQL operator description — join, aggregation, or scan — plans a physical
+// algorithm for it exactly the way the real engine class would (Hive picks
+// among Shuffle, Broadcast/Map, Bucket Map, Sort-Merge-Bucket, and Skew
+// joins; Spark among Broadcast Hash, Shuffle Hash, Sort-Merge, Broadcast
+// Nested-Loop, and Cartesian), and returns a simulated wall-clock elapsed
+// time.
+//
+// Ground truth: each system owns a hidden table of per-record sub-operator
+// costs (µs as a linear function of record size) seeded with the paper's own
+// fitted measurements (Figures 7 and 13), plus MapReduce-style job startup,
+// per-task-wave overheads, task-wave discretization, a memory-spill regime
+// for hash builds, intra-task pipelining overlap, and small deterministic
+// noise. The cost estimation module never reads this table — it only
+// observes (query → elapsed seconds), exactly like the paper's module
+// observing a live cluster.
+package remote
+
+import (
+	"fmt"
+
+	"intellisphere/internal/cluster"
+)
+
+// SubOp enumerates the primitive building-block operators of Figure 5.
+type SubOp int
+
+// The sub-operators of Figure 5. The first eight are the paper's "Basic"
+// (mandatory) set; the last three are "Specific" (optional).
+const (
+	ReadDFS SubOp = iota
+	WriteDFS
+	ReadLocal
+	WriteLocal
+	Shuffle
+	Broadcast
+	Sort
+	Scan
+	HashBuild
+	HashProbe
+	RecMerge
+	numSubOps
+)
+
+// AllSubOps lists every sub-operator in declaration order.
+func AllSubOps() []SubOp {
+	ops := make([]SubOp, numSubOps)
+	for i := range ops {
+		ops[i] = SubOp(i)
+	}
+	return ops
+}
+
+// BasicSubOps lists the mandatory sub-operators of Figure 5.
+func BasicSubOps() []SubOp {
+	return []SubOp{ReadDFS, WriteDFS, ReadLocal, WriteLocal, Shuffle, Broadcast, Sort, Scan}
+}
+
+// SpecificSubOps lists the optional sub-operators of Figure 5.
+func SpecificSubOps() []SubOp {
+	return []SubOp{HashBuild, HashProbe, RecMerge}
+}
+
+// String returns the sub-operator's name.
+func (s SubOp) String() string {
+	switch s {
+	case ReadDFS:
+		return "ReadDFS"
+	case WriteDFS:
+		return "WriteDFS"
+	case ReadLocal:
+		return "ReadLocal"
+	case WriteLocal:
+		return "WriteLocal"
+	case Shuffle:
+		return "Shuffle"
+	case Broadcast:
+		return "Broadcast"
+	case Sort:
+		return "Sort"
+	case Scan:
+		return "Scan"
+	case HashBuild:
+		return "HashBuild"
+	case HashProbe:
+		return "HashProbe"
+	case RecMerge:
+		return "RecMerge"
+	default:
+		return fmt.Sprintf("SubOp(%d)", int(s))
+	}
+}
+
+// Symbol returns the paper's single-letter notation for the sub-operator
+// (Figure 5): rD, wD, rL, wL, f, b, o, c, hI, hP, m.
+func (s SubOp) Symbol() string {
+	switch s {
+	case ReadDFS:
+		return "rD"
+	case WriteDFS:
+		return "wD"
+	case ReadLocal:
+		return "rL"
+	case WriteLocal:
+		return "wL"
+	case Shuffle:
+		return "f"
+	case Broadcast:
+		return "b"
+	case Sort:
+		return "o"
+	case Scan:
+		return "c"
+	case HashBuild:
+		return "hI"
+	case HashProbe:
+		return "hP"
+	case RecMerge:
+		return "m"
+	default:
+		return "?"
+	}
+}
+
+// CostFn is a per-record cost in microseconds as a linear function of record
+// size in bytes: µs(s) = Slope·s + Intercept.
+type CostFn struct {
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+}
+
+// At evaluates the per-record cost at record size s bytes.
+func (c CostFn) At(s float64) float64 { return c.Slope*s + c.Intercept }
+
+// SubOpCosts is a remote system's hidden ground-truth per-record cost table.
+// HashBuild carries two regimes: the in-memory model applies while the hash
+// table fits in a task's memory budget, the spill model beyond it (the spill
+// line can dip below the in-memory one at small record sizes, so evaluation
+// takes the max of the two in the spill regime).
+type SubOpCosts struct {
+	Costs         [numSubOps]CostFn
+	HashSpill     CostFn  // spill-regime HashBuild model
+	BroadcastPer  bool    // if true, Broadcast cost multiplies by (dataNodes-1)
+	SortLogFactor float64 // extra per-record factor ·log2(records per task); 0 disables
+}
+
+// At returns the per-record µs cost of op at record size s. For HashBuild
+// pass inMemory to select the regime.
+func (t *SubOpCosts) At(op SubOp, s float64, inMemory bool) float64 {
+	if op == HashBuild && !inMemory {
+		spill := t.HashSpill.At(s)
+		base := t.Costs[HashBuild].At(s)
+		if spill < base {
+			return base
+		}
+		return spill
+	}
+	return t.Costs[op].At(s)
+}
+
+// DefaultHiveCosts returns the ground truth table for the Hive-like system.
+// Where the paper publishes a fitted model we adopt it verbatim:
+// ReadDFS from Figure 7(b), WriteDFS/Shuffle/RecMerge/HashBuild from
+// Figures 13(c)–(f). The rest are chosen to sit in plausible relation to
+// those (local I/O cheaper than DFS I/O, probe cheaper than build).
+func DefaultHiveCosts() *SubOpCosts {
+	t := &SubOpCosts{}
+	t.Costs[ReadDFS] = CostFn{Slope: 0.0041, Intercept: 0.6323}
+	t.Costs[WriteDFS] = CostFn{Slope: 0.0314, Intercept: 0.7403}
+	t.Costs[ReadLocal] = CostFn{Slope: 0.0020, Intercept: 0.4000}
+	t.Costs[WriteLocal] = CostFn{Slope: 0.0150, Intercept: 0.5500}
+	t.Costs[Shuffle] = CostFn{Slope: 0.0126, Intercept: 5.2551}
+	t.Costs[Broadcast] = CostFn{Slope: 0.0126, Intercept: 5.0000}
+	t.Costs[Sort] = CostFn{Slope: 0.0040, Intercept: 2.0000}
+	t.Costs[Scan] = CostFn{Slope: 0.0010, Intercept: 0.1000}
+	t.Costs[HashBuild] = CostFn{Slope: 0.0248, Intercept: 18.2410}
+	t.Costs[HashProbe] = CostFn{Slope: 0.0080, Intercept: 1.2000}
+	t.Costs[RecMerge] = CostFn{Slope: 0.0344, Intercept: 36.7010}
+	t.HashSpill = CostFn{Slope: 0.1821, Intercept: -51.6140}
+	t.BroadcastPer = true
+	t.SortLogFactor = 0.04
+	return t
+}
+
+// DefaultSparkCosts returns the ground truth for the Spark-like system:
+// the same shape as Hive but with cheaper shuffle and I/O (in-memory
+// execution), reflecting the engine-class difference the paper stresses —
+// models learned on one system do not transfer to another.
+func DefaultSparkCosts() *SubOpCosts {
+	t := &SubOpCosts{}
+	t.Costs[ReadDFS] = CostFn{Slope: 0.0031, Intercept: 0.4500}
+	t.Costs[WriteDFS] = CostFn{Slope: 0.0240, Intercept: 0.6000}
+	t.Costs[ReadLocal] = CostFn{Slope: 0.0008, Intercept: 0.1500}
+	t.Costs[WriteLocal] = CostFn{Slope: 0.0060, Intercept: 0.2500}
+	t.Costs[Shuffle] = CostFn{Slope: 0.0072, Intercept: 2.1000}
+	t.Costs[Broadcast] = CostFn{Slope: 0.0080, Intercept: 2.0000}
+	t.Costs[Sort] = CostFn{Slope: 0.0030, Intercept: 1.2000}
+	t.Costs[Scan] = CostFn{Slope: 0.0006, Intercept: 0.0500}
+	t.Costs[HashBuild] = CostFn{Slope: 0.0160, Intercept: 9.0000}
+	t.Costs[HashProbe] = CostFn{Slope: 0.0055, Intercept: 0.7000}
+	t.Costs[RecMerge] = CostFn{Slope: 0.0210, Intercept: 17.0000}
+	t.HashSpill = CostFn{Slope: 0.1100, Intercept: -20.0000}
+	t.BroadcastPer = true
+	t.SortLogFactor = 0.04
+	return t
+}
+
+// DefaultPrestoCosts returns the ground truth for the Presto-like MPP
+// system: fully pipelined in-memory execution with cheap exchanges and the
+// lowest fixed latencies of the distributed engines.
+func DefaultPrestoCosts() *SubOpCosts {
+	t := &SubOpCosts{}
+	t.Costs[ReadDFS] = CostFn{Slope: 0.0028, Intercept: 0.3800}
+	t.Costs[WriteDFS] = CostFn{Slope: 0.0200, Intercept: 0.5000}
+	t.Costs[ReadLocal] = CostFn{Slope: 0.0006, Intercept: 0.1200}
+	t.Costs[WriteLocal] = CostFn{Slope: 0.0050, Intercept: 0.2000}
+	t.Costs[Shuffle] = CostFn{Slope: 0.0058, Intercept: 1.6000}
+	t.Costs[Broadcast] = CostFn{Slope: 0.0065, Intercept: 1.5000}
+	t.Costs[Sort] = CostFn{Slope: 0.0026, Intercept: 1.0000}
+	t.Costs[Scan] = CostFn{Slope: 0.0005, Intercept: 0.0400}
+	t.Costs[HashBuild] = CostFn{Slope: 0.0140, Intercept: 7.5000}
+	t.Costs[HashProbe] = CostFn{Slope: 0.0048, Intercept: 0.6000}
+	t.Costs[RecMerge] = CostFn{Slope: 0.0180, Intercept: 14.0000}
+	t.HashSpill = CostFn{Slope: 0.0950, Intercept: -16.0000}
+	t.BroadcastPer = true
+	t.SortLogFactor = 0.04
+	return t
+}
+
+// DefaultPrestoOverheads mirrors an always-on MPP coordinator.
+func DefaultPrestoOverheads() Overheads {
+	return Overheads{JobStartupSec: 0.2, TaskOverheadSec: 0.02, StageStartupSec: 0.1, PipelineFactor: 0.72}
+}
+
+// DefaultRDBMSCosts returns the ground truth for the single-node RDBMS-like
+// system: no DFS, no shuffle; fast local I/O and CPU primitives.
+func DefaultRDBMSCosts() *SubOpCosts {
+	t := &SubOpCosts{}
+	t.Costs[ReadDFS] = CostFn{Slope: 0.0025, Intercept: 0.3000} // table scan from disk
+	t.Costs[WriteDFS] = CostFn{Slope: 0.0180, Intercept: 0.5000}
+	t.Costs[ReadLocal] = CostFn{Slope: 0.0010, Intercept: 0.2000}
+	t.Costs[WriteLocal] = CostFn{Slope: 0.0080, Intercept: 0.3000}
+	t.Costs[Shuffle] = CostFn{Slope: 0, Intercept: 0} // single node: nothing to shuffle
+	t.Costs[Broadcast] = CostFn{Slope: 0, Intercept: 0}
+	t.Costs[Sort] = CostFn{Slope: 0.0035, Intercept: 1.0000}
+	t.Costs[Scan] = CostFn{Slope: 0.0008, Intercept: 0.0800}
+	t.Costs[HashBuild] = CostFn{Slope: 0.0140, Intercept: 6.0000}
+	t.Costs[HashProbe] = CostFn{Slope: 0.0050, Intercept: 0.6000}
+	t.Costs[RecMerge] = CostFn{Slope: 0.0180, Intercept: 10.0000}
+	t.HashSpill = CostFn{Slope: 0.0900, Intercept: -15.0000}
+	t.SortLogFactor = 0.04
+	return t
+}
+
+// Overheads captures the fixed latencies of a remote system's execution
+// framework: submitting a job, launching one task wave, and starting a
+// shuffle/reduce stage.
+type Overheads struct {
+	JobStartupSec   float64 `json:"job_startup_sec"`
+	TaskOverheadSec float64 `json:"task_overhead_sec"`
+	StageStartupSec float64 `json:"stage_startup_sec"`
+	// PipelineFactor discounts the summed per-record work of a task that
+	// interleaves three or more distinct sub-operations (real engines
+	// overlap I/O with CPU within a task); 1.0 disables the discount.
+	PipelineFactor float64 `json:"pipeline_factor"`
+}
+
+// DefaultHiveOverheads mirrors Hive-on-Tez-era latencies: a noticeable job
+// submission delay, modest per-task-wave spin-up, and a shuffle-stage
+// startup. (Classic MapReduce task overheads would be several seconds; the
+// paper's measured per-record costs imply the lighter container-reuse
+// regime, so that is what we model.)
+func DefaultHiveOverheads() Overheads {
+	return Overheads{JobStartupSec: 3, TaskOverheadSec: 0.1, StageStartupSec: 1, PipelineFactor: 0.72}
+}
+
+// DefaultSparkOverheads mirrors a warm long-running executor model.
+func DefaultSparkOverheads() Overheads {
+	return Overheads{JobStartupSec: 0.8, TaskOverheadSec: 0.05, StageStartupSec: 0.3, PipelineFactor: 0.72}
+}
+
+// DefaultRDBMSOverheads mirrors an interactive database.
+func DefaultRDBMSOverheads() Overheads {
+	return Overheads{JobStartupSec: 0.05, TaskOverheadSec: 0, StageStartupSec: 0, PipelineFactor: 0.80}
+}
+
+// broadcastUnit returns the per-record broadcast cost given the cluster
+// shape (per receiving node when BroadcastPer is set).
+func (t *SubOpCosts) broadcastUnit(s float64, c cluster.Config) float64 {
+	u := t.Costs[Broadcast].At(s)
+	if t.BroadcastPer {
+		n := float64(c.DataNodes - 1)
+		if n < 1 {
+			n = 1
+		}
+		return u * n
+	}
+	return u
+}

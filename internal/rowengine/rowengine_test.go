@@ -1,0 +1,354 @@
+package rowengine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"intellisphere/internal/sqlparse"
+)
+
+func exec(t *testing.T, sql string, tables map[string]*Table) *Result {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	res, err := Execute(stmt, tables)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", sql, err)
+	}
+	return res
+}
+
+func tables(t *testing.T, specs map[string]int64) map[string]*Table {
+	t.Helper()
+	out := map[string]*Table{}
+	for name, rows := range specs {
+		tb, err := Materialize(name, rows)
+		if err != nil {
+			t.Fatalf("Materialize(%s): %v", name, err)
+		}
+		out[name] = tb
+	}
+	return out
+}
+
+func TestSimpleProjection(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 10})
+	res := exec(t, "SELECT a1, a5 FROM t", ts)
+	if len(res.Rows) != 10 || len(res.Columns) != 2 {
+		t.Fatalf("result = %dx%d", len(res.Rows), len(res.Columns))
+	}
+	if res.Rows[7][0] != 7 || res.Rows[7][1] != 1 {
+		t.Errorf("row 7 = %v, want [7 1]", res.Rows[7])
+	}
+}
+
+func TestStarProjection(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 3})
+	res := exec(t, "SELECT * FROM t", ts)
+	if len(res.Columns) != 8 {
+		t.Fatalf("star expanded to %d columns, want 8", len(res.Columns))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 100})
+	res := exec(t, "SELECT a1 FROM t WHERE a1 < 25", ts)
+	if len(res.Rows) != 25 {
+		t.Errorf("got %d rows, want 25", len(res.Rows))
+	}
+	res = exec(t, "SELECT a1 FROM t WHERE a1 >= 90 AND a1 <> 95", ts)
+	if len(res.Rows) != 9 {
+		t.Errorf("got %d rows, want 9", len(res.Rows))
+	}
+	res = exec(t, "SELECT a1 FROM t WHERE a1 + z = 42", ts)
+	if len(res.Rows) != 1 || res.Rows[0][0] != 42 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestFig10JoinSemantics(t *testing.T) {
+	// R has 1000 rows, S has 100; S's a1 values are a subset of R's, so the
+	// equi-join matches every S row, and the z-predicate scales the output:
+	// threshold 50 keeps 50 rows.
+	ts := tables(t, map[string]int64{"r": 1000, "s": 100})
+	res := exec(t, "SELECT r.a1, s.a1 FROM r JOIN s ON r.a1 = s.a1 WHERE r.a1 + s.z < 50", ts)
+	if len(res.Rows) != 50 {
+		t.Fatalf("join output = %d rows, want 50", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[0] != row[1] {
+			t.Fatalf("join mismatch: %v", row)
+		}
+	}
+	// Without the predicate, output = |S| exactly.
+	res = exec(t, "SELECT r.a1 FROM r JOIN s ON r.a1 = s.a1", ts)
+	if len(res.Rows) != 100 {
+		t.Errorf("full join output = %d rows, want 100", len(res.Rows))
+	}
+}
+
+func TestJoinDuplicateKeys(t *testing.T) {
+	// Joining on a5 (each value duplicated 5 times in both tables of 50
+	// rows): 10 distinct values × 5 × 5 = 250 output rows.
+	ts := tables(t, map[string]int64{"r": 50, "s": 50})
+	res := exec(t, "SELECT r.a5 FROM r JOIN s ON r.a5 = s.a5", ts)
+	if len(res.Rows) != 250 {
+		t.Errorf("duplicate-key join = %d rows, want 250", len(res.Rows))
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	ts := tables(t, map[string]int64{"r": 20, "s": 30})
+	res := exec(t, "SELECT r.a1 FROM r CROSS JOIN s", ts)
+	if len(res.Rows) != 600 {
+		t.Errorf("cross join = %d rows, want 600", len(res.Rows))
+	}
+}
+
+func TestAggregationSumCount(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 100})
+	// Group by a10: 10 groups of 10 rows each.
+	res := exec(t, "SELECT a10, COUNT(a1), SUM(a1) FROM t GROUP BY a10", ts)
+	if len(res.Rows) != 10 {
+		t.Fatalf("groups = %d, want 10", len(res.Rows))
+	}
+	// Group 0 holds a1 values 0..9: count 10, sum 45.
+	for _, row := range res.Rows {
+		if row[0] == 0 {
+			if row[1] != 10 || row[2] != 45 {
+				t.Errorf("group 0 = %v, want count 10 sum 45", row)
+			}
+		}
+	}
+}
+
+func TestAggregationAvgMinMax(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 100})
+	res := exec(t, "SELECT AVG(a1), MIN(a1), MAX(a1) FROM t", ts)
+	if len(res.Rows) != 1 {
+		t.Fatalf("global aggregate rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0] != 49.5 || row[1] != 0 || row[2] != 99 {
+		t.Errorf("avg/min/max = %v, want [49.5 0 99]", row)
+	}
+}
+
+func TestAggregationCountStar(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 42})
+	res := exec(t, "SELECT COUNT(*) FROM t", ts)
+	if res.Rows[0][0] != 42 {
+		t.Errorf("COUNT(*) = %v, want 42", res.Rows[0][0])
+	}
+}
+
+func TestAggregationAfterJoin(t *testing.T) {
+	ts := tables(t, map[string]int64{"r": 100, "s": 50})
+	res := exec(t, "SELECT r.a10, SUM(s.a1) FROM r JOIN s ON r.a1 = s.a1 GROUP BY r.a10", ts)
+	// Joined rows are a1 = 0..49; groups on a10 → 5 groups.
+	if len(res.Rows) != 5 {
+		t.Fatalf("groups = %d, want 5", len(res.Rows))
+	}
+}
+
+func TestAggregateExpressionArg(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 10})
+	res := exec(t, "SELECT SUM(a1 + 1) FROM t", ts)
+	if res.Rows[0][0] != 55 {
+		t.Errorf("SUM(a1+1) = %v, want 55", res.Rows[0][0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 10, "u": 10})
+	cases := []string{
+		"SELECT a1 FROM missing",
+		"SELECT dummy FROM t",                         // unmaterialized column
+		"SELECT a1 FROM t JOIN u ON t.a1 = u.a1",      // ambiguous unqualified a1 in select
+		"SELECT t.a1 FROM t JOIN u ON t.dummy = u.a1", // bad join column
+		"SELECT x.a1 FROM t",                          // unknown binding
+		"SELECT a1, SUM(a2) FROM t",                   // non-grouped column with aggregate
+		"SELECT *, SUM(a1) FROM t GROUP BY a1",        // star with aggregates
+	}
+	for _, sql := range cases {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		if _, err := Execute(stmt, ts); err == nil {
+			t.Errorf("Execute(%q) succeeded, want error", sql)
+		}
+	}
+	// Duplicate binding.
+	stmt, _ := sqlparse.Parse("SELECT t.a1 FROM t JOIN t ON t.a1 = t.a1")
+	if _, err := Execute(stmt, ts); err == nil {
+		t.Error("duplicate binding accepted")
+	}
+}
+
+func TestMaterializeHelper(t *testing.T) {
+	if _, err := Materialize("t", 0); err == nil {
+		t.Error("zero-row materialization accepted")
+	}
+}
+
+// Property: Figure 10 join semantics hold for arbitrary sizes and
+// thresholds — output rows = min(threshold, |S|) when joining on the unique
+// a1 with R ≥ S.
+func TestJoinSelectivityProperty(t *testing.T) {
+	f := func(rRows, sRows uint8, threshold uint8) bool {
+		r := int64(rRows%50) + 50 // 50..99
+		s := int64(sRows%40) + 10 // 10..49 (always ≤ r)
+		th := int64(threshold)
+		rt, err := Materialize("r", r)
+		if err != nil {
+			return false
+		}
+		st, err := Materialize("s", s)
+		if err != nil {
+			return false
+		}
+		stmt, err := sqlparse.Parse("SELECT r.a1 FROM r JOIN s ON r.a1 = s.a1 WHERE r.a1 + s.z < " + itoa(th))
+		if err != nil {
+			return false
+		}
+		res, err := Execute(stmt, map[string]*Table{"r": rt, "s": st})
+		if err != nil {
+			return false
+		}
+		want := th
+		if want > s {
+			want = s
+		}
+		return int64(len(res.Rows)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var d []byte
+	for v > 0 {
+		d = append([]byte{byte('0' + v%10)}, d...)
+		v /= 10
+	}
+	return string(d)
+}
+
+func TestOrderByAscDesc(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 50})
+	res := exec(t, "SELECT a1 FROM t WHERE a1 < 10 ORDER BY a1 DESC", ts)
+	if len(res.Rows) != 10 || res.Rows[0][0] != 9 || res.Rows[9][0] != 0 {
+		t.Errorf("desc order wrong: first=%v last=%v", res.Rows[0], res.Rows[9])
+	}
+	res = exec(t, "SELECT a1 FROM t WHERE a1 < 10 ORDER BY a1", ts)
+	if res.Rows[0][0] != 0 {
+		t.Errorf("asc order wrong: %v", res.Rows[0])
+	}
+}
+
+func TestOrderByMultiKey(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 20})
+	// a5 groups of 5 identical values; within each, a1 ascending breaks ties.
+	res := exec(t, "SELECT a5, a1 FROM t ORDER BY a5 DESC, a1", ts)
+	if res.Rows[0][0] != 3 || res.Rows[0][1] != 15 {
+		t.Errorf("first row = %v, want [3 15]", res.Rows[0])
+	}
+}
+
+func TestOrderByAliasAndAggregate(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 100})
+	res := exec(t, "SELECT a10, SUM(a1) AS total FROM t GROUP BY a10 ORDER BY total DESC LIMIT 3", ts)
+	if len(res.Rows) != 3 {
+		t.Fatalf("limit not applied: %d rows", len(res.Rows))
+	}
+	// Highest total group first: a10 = 9 holds a1 values 90..99 → 945.
+	if res.Rows[0][0] != 9 || res.Rows[0][1] != 945 {
+		t.Errorf("top group = %v, want [9 945]", res.Rows[0])
+	}
+	if res.Rows[0][1] < res.Rows[1][1] || res.Rows[1][1] < res.Rows[2][1] {
+		t.Error("not descending")
+	}
+}
+
+func TestLimitWithoutOrder(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 100})
+	res := exec(t, "SELECT a1 FROM t LIMIT 7", ts)
+	if len(res.Rows) != 7 {
+		t.Errorf("limit = %d rows", len(res.Rows))
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	ts := tables(t, map[string]int64{"t": 10})
+	stmt, err := sqlparse.Parse("SELECT a1 FROM t ORDER BY a50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(stmt, ts); err == nil {
+		t.Error("ORDER BY on non-output column accepted")
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	// r(200) ⋈ s(100) ⋈ u(50) on a1: the chain intersects down to |u| rows,
+	// and the threshold predicate scales it (Figure 10 semantics, chained).
+	ts3 := tables(t, map[string]int64{"r": 200, "s": 100, "u": 50})
+	res := exec(t, "SELECT r.a1, s.a1, u.a1 FROM r JOIN s ON r.a1 = s.a1 JOIN u ON s.a1 = u.a1", ts3)
+	if len(res.Rows) != 50 {
+		t.Fatalf("3-way join = %d rows, want 50", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[0] != row[1] || row[1] != row[2] {
+			t.Fatalf("chain mismatch: %v", row)
+		}
+	}
+	res = exec(t, "SELECT r.a1 FROM r JOIN s ON r.a1 = s.a1 JOIN u ON s.a1 = u.a1 WHERE r.a1 + u.z < 20", ts3)
+	if len(res.Rows) != 20 {
+		t.Errorf("filtered 3-way join = %d rows, want 20", len(res.Rows))
+	}
+	// The second join may also probe the FIRST table's columns.
+	res = exec(t, "SELECT r.a1 FROM r JOIN s ON r.a1 = s.a1 JOIN u ON r.a1 = u.a1", ts3)
+	if len(res.Rows) != 50 {
+		t.Errorf("probe-first-table join = %d rows, want 50", len(res.Rows))
+	}
+}
+
+func TestThreeWayJoinWithAggregation(t *testing.T) {
+	ts3 := tables(t, map[string]int64{"r": 200, "s": 100, "u": 50})
+	res := exec(t, "SELECT u.a10, COUNT(r.a1) FROM r JOIN s ON r.a1 = s.a1 JOIN u ON s.a1 = u.a1 GROUP BY u.a10 ORDER BY u.a10", ts3)
+	if len(res.Rows) != 5 {
+		t.Fatalf("groups = %d, want 5", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[1] != 10 {
+			t.Errorf("group %v count = %v, want 10", row[0], row[1])
+		}
+	}
+}
+
+func TestThreeWayCrossJoin(t *testing.T) {
+	ts3 := tables(t, map[string]int64{"r": 4, "s": 3, "u": 2})
+	res := exec(t, "SELECT r.a1 FROM r CROSS JOIN s CROSS JOIN u", ts3)
+	if len(res.Rows) != 24 {
+		t.Errorf("cross chain = %d rows, want 24", len(res.Rows))
+	}
+}
+
+func TestJoinConditionOnUnjoinedTable(t *testing.T) {
+	ts3 := tables(t, map[string]int64{"r": 10, "s": 10, "u": 10})
+	// The second join's condition references only r and s — it never links u.
+	stmt, err := sqlparse.Parse("SELECT r.a1 FROM r JOIN s ON r.a1 = s.a1 JOIN u ON r.a1 = s.a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(stmt, ts3); err == nil {
+		t.Error("join condition not referencing the new table accepted")
+	}
+}

@@ -1,0 +1,248 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColRef names a column, optionally qualified by a table name or alias.
+type ColRef struct {
+	Qualifier string // "" when unqualified
+	Column    string
+}
+
+// String renders the reference in SQL form.
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Column
+	}
+	return c.Qualifier + "." + c.Column
+}
+
+// Term is one additive component of an expression: either a column
+// reference or a numeric constant.
+type Term struct {
+	Col      *ColRef
+	Constant float64 // used when Col is nil
+	Negated  bool    // subtracted rather than added
+}
+
+// Expr is a sum of terms (the grammar the Figure 10 predicates need:
+// "r.a1 + s.z").
+type Expr struct {
+	Terms []Term
+}
+
+// String renders the expression in SQL form.
+func (e Expr) String() string {
+	var b strings.Builder
+	for i, t := range e.Terms {
+		if i > 0 {
+			if t.Negated {
+				b.WriteString(" - ")
+			} else {
+				b.WriteString(" + ")
+			}
+		} else if t.Negated {
+			b.WriteString("-")
+		}
+		if t.Col != nil {
+			b.WriteString(t.Col.String())
+		} else {
+			fmt.Fprintf(&b, "%g", t.Constant)
+		}
+	}
+	return b.String()
+}
+
+// Columns returns every column referenced by the expression.
+func (e Expr) Columns() []ColRef {
+	var out []ColRef
+	for _, t := range e.Terms {
+		if t.Col != nil {
+			out = append(out, *t.Col)
+		}
+	}
+	return out
+}
+
+// Predicate is one conjunct of the WHERE clause: expr OP literal.
+type Predicate struct {
+	Left  Expr
+	Op    string // =, <, <=, >, >=, <>
+	Value float64
+}
+
+// String renders the predicate in SQL form.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %g", p.Left.String(), p.Op, p.Value)
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc string
+
+// Supported aggregates.
+const (
+	AggNone  AggFunc = ""
+	AggSum   AggFunc = "SUM"
+	AggCount AggFunc = "COUNT"
+	AggAvg   AggFunc = "AVG"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+)
+
+// SelectItem is one output column: `*`, a plain column, or an aggregate
+// over an additive expression.
+type SelectItem struct {
+	Star  bool
+	Col   ColRef  // plain column when Agg == AggNone and !Star
+	Agg   AggFunc // aggregate function, AggNone for plain columns
+	Arg   Expr    // aggregate argument
+	Alias string
+}
+
+// String renders the item in SQL form.
+func (s SelectItem) String() string {
+	var body string
+	switch {
+	case s.Star:
+		body = "*"
+	case s.Agg != AggNone:
+		body = fmt.Sprintf("%s(%s)", s.Agg, s.Arg.String())
+	default:
+		body = s.Col.String()
+	}
+	if s.Alias != "" {
+		body += " AS " + s.Alias
+	}
+	return body
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name the rest of the query uses for this table.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is the optional two-table equi-join (or CROSS JOIN).
+type JoinClause struct {
+	Table TableRef
+	// Left/Right are the equi-join columns; empty for CROSS JOIN.
+	Left, Right ColRef
+	Cross       bool
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// String renders the key.
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Col.String() + " DESC"
+	}
+	return o.Col.String()
+}
+
+// SelectStmt is the parsed statement. Limit is 0 when no LIMIT clause was
+// given. Joins holds the JOIN clauses in source order (a left-deep chain).
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []JoinClause
+	Where   []Predicate
+	GroupBy []ColRef
+	OrderBy []OrderItem
+	Limit   int64
+}
+
+// Join returns the first join clause, or nil — a convenience for the common
+// two-table case.
+func (s *SelectStmt) Join() *JoinClause {
+	if len(s.Joins) == 0 {
+		return nil
+	}
+	return &s.Joins[0]
+}
+
+// HasAggregates reports whether any select item aggregates.
+func (s *SelectStmt) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the statement back to SQL (used by tests and the CLI's
+// EXPLAIN output).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM " + s.From.Name)
+	if s.From.Alias != "" {
+		b.WriteString(" " + s.From.Alias)
+	}
+	for i := range s.Joins {
+		j := &s.Joins[i]
+		if j.Cross {
+			b.WriteString(" CROSS JOIN " + j.Table.Name)
+		} else {
+			b.WriteString(" JOIN " + j.Table.Name)
+		}
+		if j.Table.Alias != "" {
+			b.WriteString(" " + j.Table.Alias)
+		}
+		if !j.Cross {
+			fmt.Fprintf(&b, " ON %s = %s", j.Left.String(), j.Right.String())
+		}
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range s.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

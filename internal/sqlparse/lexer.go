@@ -1,0 +1,123 @@
+// Package sqlparse implements the SQL subset IntelliSphere accepts from
+// end-users: single-block SELECT statements with an optional two-table
+// equi-join, conjunctive WHERE predicates over additive expressions (the
+// Figure 10 workload's "R.a1 + S.z < threshold" trick parses here), GROUP BY,
+// and the SUM/COUNT/AVG/MIN/MAX aggregates. The master engine plans these
+// across the federation.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol  // punctuation and operators
+	tokKeyword // recognized SQL keywords (normalized upper-case)
+)
+
+// token is one lexeme with its source position (1-based column).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords recognized by the parser. Identifiers matching these
+// (case-insensitively) are tagged tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "JOIN": true, "INNER": true, "ON": true,
+	"WHERE": true, "GROUP": true, "BY": true, "AND": true, "AS": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"CROSS": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+}
+
+// lex tokenizes the input. It returns a descriptive error for any character
+// it cannot form into a token.
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			word := string(runes[start:i])
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start + 1})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start + 1})
+			}
+		case unicode.IsDigit(r):
+			start := i
+			seenDot := false
+			for i < len(runes) && (unicode.IsDigit(runes[i]) || (runes[i] == '.' && !seenDot)) {
+				if runes[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// Scientific notation: 1e6, 2.5E-3.
+			if i < len(runes) && (runes[i] == 'e' || runes[i] == 'E') {
+				j := i + 1
+				if j < len(runes) && (runes[j] == '+' || runes[j] == '-') {
+					j++
+				}
+				if j < len(runes) && unicode.IsDigit(runes[j]) {
+					i = j
+					for i < len(runes) && unicode.IsDigit(runes[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, token{kind: tokNumber, text: string(runes[start:i]), pos: start + 1})
+		case r == '<':
+			if i+1 < len(runes) && (runes[i+1] == '=' || runes[i+1] == '>') {
+				toks = append(toks, token{kind: tokSymbol, text: string(runes[i : i+2]), pos: i + 1})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: "<", pos: i + 1})
+				i++
+			}
+		case r == '>':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: ">=", pos: i + 1})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: ">", pos: i + 1})
+				i++
+			}
+		case r == '!':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: "<>", pos: i + 1})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: unexpected %q at column %d", r, i+1)
+			}
+		case strings.ContainsRune("=+-*,.()", r):
+			toks = append(toks, token{kind: tokSymbol, text: string(r), pos: i + 1})
+			i++
+		case r == ';':
+			// Statement terminator: stop lexing.
+			i = len(runes)
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected %q at column %d", r, i+1)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(runes) + 1})
+	return toks, nil
+}

@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"intellisphere/internal/cluster"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/plan"
+	"intellisphere/internal/remote"
+)
+
+func TestAggTrainingSetSize(t *testing.T) {
+	tables, err := datagen.Tables("hive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := AggTrainingSet(tables)
+	if err != nil {
+		t.Fatalf("AggTrainingSet: %v", err)
+	}
+	// 120 tables × 6 shrink columns × 5 aggregate counts = 3600 — the
+	// paper's "approximately 3,700".
+	if len(qs) != 3600 {
+		t.Errorf("got %d agg queries, want 3600", len(qs))
+	}
+	for _, q := range qs[:50] {
+		if err := q.Spec.Validate(); err != nil {
+			t.Fatalf("invalid spec for %s: %v", q.SQL(), err)
+		}
+		if q.Spec.OutputRows > q.Spec.InputRows {
+			t.Fatalf("agg output exceeds input: %+v", q.Spec)
+		}
+	}
+}
+
+func TestAggQueryDims(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	qs, _ := AggTrainingSet(tables[:1]) // t10000_40
+	// group by a10 with 3 aggs: output rows = 1000, output size = 4+24.
+	var found bool
+	for _, q := range qs {
+		if q.GroupCol == "a10" && q.NumAggs == 3 {
+			found = true
+			if q.Spec.OutputRows != 1000 {
+				t.Errorf("output rows = %v, want 1000", q.Spec.OutputRows)
+			}
+			if q.Spec.OutputRowSize != 28 {
+				t.Errorf("output row size = %v, want 28", q.Spec.OutputRowSize)
+			}
+			if q.Spec.InputRows != 10000 || q.Spec.InputRowSize != 40 {
+				t.Errorf("input dims = %v×%v", q.Spec.InputRows, q.Spec.InputRowSize)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("a10×3 configuration missing")
+	}
+}
+
+func TestAggSQL(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	qs, _ := AggTrainingSet(tables[:1])
+	sql := qs[0].SQL()
+	if !strings.Contains(sql, "GROUP BY") || !strings.Contains(sql, "SUM(") {
+		t.Errorf("SQL = %q", sql)
+	}
+}
+
+func TestAggTrainingSetEmpty(t *testing.T) {
+	if _, err := AggTrainingSet(nil); err == nil {
+		t.Error("empty table list accepted")
+	}
+}
+
+func TestJoinTrainingSet(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	qs, err := JoinTrainingSet(tables, 1000, 7)
+	if err != nil {
+		t.Fatalf("JoinTrainingSet: %v", err)
+	}
+	if len(qs) != 4000 {
+		t.Errorf("got %d join queries, want 4000 (1000 pairs × 4 selectivities)", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Spec.Validate(); err != nil {
+			t.Fatalf("invalid join spec: %v", err)
+		}
+		// S must be the smaller (subset) side.
+		if q.S.Rows > q.R.Rows {
+			t.Fatalf("S (%d rows) bigger than R (%d rows)", q.S.Rows, q.R.Rows)
+		}
+		// Output cardinality = selectivity × |S| (floored, min 1).
+		want := q.Selectivity * float64(q.S.Rows)
+		if want < 1 {
+			want = 1
+		}
+		if q.Spec.OutputRows > want+1 {
+			t.Fatalf("output rows %v exceed selectivity bound %v", q.Spec.OutputRows, want)
+		}
+	}
+}
+
+func TestJoinTrainingSetDeterministic(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	a, _ := JoinTrainingSet(tables, 50, 3)
+	b, _ := JoinTrainingSet(tables, 50, 3)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].R.Name != b[i].R.Name || a[i].S.Name != b[i].S.Name || a[i].Selectivity != b[i].Selectivity {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c, _ := JoinTrainingSet(tables, 50, 4)
+	same := true
+	for i := range a {
+		if a[i].R.Name != c[i].R.Name || a[i].S.Name != c[i].S.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestJoinSQL(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	qs, _ := JoinTrainingSet(tables, 5, 1)
+	sql := qs[0].SQL()
+	if !strings.Contains(sql, "JOIN") || !strings.Contains(sql, "r.a1 = s.a1") ||
+		!strings.Contains(sql, "r.a1 + s.z <") {
+		t.Errorf("SQL = %q", sql)
+	}
+}
+
+func TestJoinTrainingSetErrors(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	if _, err := JoinTrainingSet(tables[:1], 10, 1); err == nil {
+		t.Error("single table accepted")
+	}
+	if _, err := JoinTrainingSet(tables, 0, 1); err == nil {
+		t.Error("zero pairs accepted")
+	}
+}
+
+func TestSelectivities(t *testing.T) {
+	s := Selectivities()
+	want := []float64{1.0, 0.5, 0.25, 0.01}
+	if len(s) != 4 {
+		t.Fatalf("got %d selectivities", len(s))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("sel[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestOutOfRangeJoins(t *testing.T) {
+	cfg := DefaultOutOfRange()
+	specs, err := OutOfRangeJoins(cfg)
+	if err != nil {
+		t.Fatalf("OutOfRangeJoins: %v", err)
+	}
+	if len(specs) != 45 {
+		t.Fatalf("got %d specs, want 45", len(specs))
+	}
+	oneOut, bothOut := 0, 0
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid spec: %v", err)
+		}
+		lOut := s.Left.Rows >= cfg.Rows
+		rOut := s.Right.Rows >= cfg.Rows
+		if !lOut && !rOut {
+			t.Fatal("spec with no out-of-range side")
+		}
+		if lOut && rOut {
+			bothOut++
+		} else {
+			oneOut++
+		}
+		// Record sizes must stay in the trained range.
+		if s.Left.RowSize > 1000 || s.Right.RowSize > 1000 {
+			t.Fatal("record size out of trained range")
+		}
+	}
+	if oneOut == 0 || bothOut == 0 {
+		t.Errorf("want a mix of one-side (%d) and both-side (%d) out-of-range specs", oneOut, bothOut)
+	}
+}
+
+func TestOutOfRangeJoinsInvalid(t *testing.T) {
+	if _, err := OutOfRangeJoins(OutOfRangeConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestShrinkColumnsMatchSchema(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	for _, col := range ShrinkColumns() {
+		if _, ok := tables[0].Schema.Column(col); !ok {
+			t.Errorf("shrink column %s missing from Figure 10 schema", col)
+		}
+	}
+}
+
+func TestRunAggAndJoinSets(t *testing.T) {
+	tables, err := datagen.Tables("hive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := tables[:6]
+	sys, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{NoiseAmp: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggQs, err := AggTrainingSet(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggRun, err := RunAggSet(sys, aggQs)
+	if err != nil {
+		t.Fatalf("RunAggSet: %v", err)
+	}
+	if len(aggRun.X) != len(aggQs) || len(aggRun.Y) != len(aggQs) {
+		t.Fatalf("run sizes = %d/%d, want %d", len(aggRun.X), len(aggRun.Y), len(aggQs))
+	}
+	// Cumulative curve is nondecreasing and ends at the total.
+	last := 0.0
+	for _, c := range aggRun.Cumulative {
+		if c < last {
+			t.Fatal("cumulative curve decreased")
+		}
+		last = c
+	}
+	if last != aggRun.TotalSec {
+		t.Errorf("cumulative end %v != total %v", last, aggRun.TotalSec)
+	}
+
+	joinQs, err := JoinTrainingSet(small, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinRun, err := RunJoinSet(sys, joinQs)
+	if err != nil {
+		t.Fatalf("RunJoinSet: %v", err)
+	}
+	if len(joinRun.X) != len(joinQs) {
+		t.Errorf("join run size = %d", len(joinRun.X))
+	}
+	for _, x := range joinRun.X {
+		if len(x) != 7 {
+			t.Fatal("join dims must be 7-wide")
+		}
+	}
+
+	// Out-of-range specs execute too.
+	specs, err := OutOfRangeJoins(OutOfRangeConfig{Rows: 20e6, RecordSizes: []int{100}, Count: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := RunJoinSpecs(sys, specs)
+	if err != nil {
+		t.Fatalf("RunJoinSpecs: %v", err)
+	}
+	if len(costs) != 3 {
+		t.Errorf("costs = %v", costs)
+	}
+	for _, c := range costs {
+		if c <= 0 {
+			t.Errorf("non-positive cost %v", c)
+		}
+	}
+}
+
+func TestRunSetErrors(t *testing.T) {
+	sys, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAggSet(sys, nil); err == nil {
+		t.Error("empty agg set accepted")
+	}
+	if _, err := RunJoinSet(sys, nil); err == nil {
+		t.Error("empty join set accepted")
+	}
+	// An invalid spec inside the set surfaces as an error.
+	bad := []JoinQuery{{R: nil, S: nil}}
+	if _, err := RunJoinSet(sys, bad); err == nil {
+		t.Error("invalid join query accepted")
+	}
+	if _, err := RunJoinSpecs(sys, []plan.JoinSpec{{}}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestScanTrainingSet(t *testing.T) {
+	tables, _ := datagen.Tables("hive")
+	qs, err := ScanTrainingSet(tables[:3])
+	if err != nil {
+		t.Fatalf("ScanTrainingSet: %v", err)
+	}
+	// 3 tables × 4 selectivities × 2 projections.
+	if len(qs) != 24 {
+		t.Fatalf("got %d scan queries, want 24", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Spec.Validate(); err != nil {
+			t.Fatalf("invalid scan spec: %v", err)
+		}
+		if !strings.Contains(q.SQL(), "WHERE a1 <") {
+			t.Errorf("SQL = %q", q.SQL())
+		}
+	}
+	if _, err := ScanTrainingSet(nil); err == nil {
+		t.Error("empty table list accepted")
+	}
+	if (ScanQuery{}).SQL() != "<unbound scan query>" {
+		t.Error("nil-table SQL rendering wrong")
+	}
+
+	sys, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{NoiseAmp: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunScanSet(sys, qs)
+	if err != nil {
+		t.Fatalf("RunScanSet: %v", err)
+	}
+	if len(run.X) != 24 || run.TotalSec <= 0 {
+		t.Errorf("run = %d queries, %v s", len(run.X), run.TotalSec)
+	}
+	for _, x := range run.X {
+		if len(x) != 4 {
+			t.Fatal("scan dims must be 4-wide")
+		}
+	}
+	if _, err := RunScanSet(sys, nil); err == nil {
+		t.Error("empty scan set accepted")
+	}
+}
