@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1
+
+# The full suite under the race detector — exercises the parallel training
+# and candidate-costing paths with real contention.
+race:
+	$(GO) test -race ./... -count=1
+
+# Short benchmark smoke: the two perf-critical kernels, one iteration each,
+# just to prove they still run (use `go test -bench=.` for real numbers).
+bench:
+	$(GO) test ./internal/nn -run '^$$' -bench BenchmarkNNTrain -benchtime 1x
+	$(GO) test ./internal/optimizer -run '^$$' -bench BenchmarkOptimizerPlan -benchtime 1x
+
+ci: vet build race bench

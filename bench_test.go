@@ -11,6 +11,7 @@ package intellisphere
 // identical shapes); cmd/experiments -full reproduces the paper-scale run.
 
 import (
+	"strconv"
 	"testing"
 
 	"intellisphere/internal/experiments"
@@ -172,21 +173,9 @@ func BenchmarkAblationNeighborK(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, row := range res.Rows {
-			b.ReportMetric(row.RMSEPct, "k"+itoa(row.K)+"_rmse_pct")
+			b.ReportMetric(row.RMSEPct, "k"+strconv.Itoa(row.K)+"_rmse_pct")
 		}
 	}
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var d []byte
-	for v > 0 {
-		d = append([]byte{byte('0' + v%10)}, d...)
-		v /= 10
-	}
-	return string(d)
 }
 
 // BenchmarkAblationTopology compares the cross-validated topology search

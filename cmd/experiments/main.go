@@ -11,6 +11,10 @@
 // the paper-scale workloads run (120 tables, 1000 join pairs, ~3600
 // aggregation queries — expect minutes of wall-clock time for the neural
 // training).
+//
+// Independent experiments execute concurrently across the worker pool
+// (bounded by GOMAXPROCS or INTELLISPHERE_WORKERS); every result is
+// identical to a serial run, and output stays in the canonical order.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"intellisphere/internal/experiments"
+	"intellisphere/internal/parallel"
 )
 
 func main() {
@@ -60,53 +65,72 @@ func main() {
 		{"fig14", func() (fmt.Stringer, error) { return experiments.RunFig14(env) }},
 		{"table1", func() (fmt.Stringer, error) { return experiments.RunTable1(env) }},
 	}
-	ran := 0
-	for _, e := range list {
-		if !all && !want[e.name] {
-			continue
-		}
-		start := time.Now()
-		res, err := e.fn()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.name, err))
-		}
-		fmt.Printf("=== %s (%.1fs wall clock) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
-		ran++
+	if all || want["ablations"] {
+		list = append(list, experiment{"ablations", func() (fmt.Stringer, error) { return runAblations(env) }})
 	}
 
-	if all || want["ablations"] {
-		start := time.Now()
-		logAb, err := experiments.RunLogOutputAblation(env)
-		if err != nil {
-			fatal(err)
+	var selected []experiment
+	for _, e := range list {
+		if all || want[e.name] {
+			selected = append(selected, e)
 		}
-		alphaAb, err := experiments.RunAlphaAblation(env)
-		if err != nil {
-			fatal(err)
-		}
-		polAb, err := experiments.RunPolicyAblation(env)
-		if err != nil {
-			fatal(err)
-		}
-		nkAb, err := experiments.RunNeighborKAblation(env, nil)
-		if err != nil {
-			fatal(err)
-		}
-		topoAb, err := experiments.RunTopologyAblation(env)
-		if err != nil {
-			fatal(err)
-		}
-		curve, err := experiments.RunTrainingSizeCurve(env, nil)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("=== ablations (%.1fs wall clock) ===\n%s\n%s\n%s\n%s\n%s\n%s\n",
-			time.Since(start).Seconds(), logAb, alphaAb, polAb, nkAb, topoAb, curve)
-		ran++
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fatal(fmt.Errorf("no experiments matched -run=%q", *run))
 	}
+
+	// Every selected experiment reads the shared environment without mutating
+	// it, so independent runs fan out across the pool; reports are rendered
+	// eagerly and printed afterwards in the canonical order.
+	type report struct {
+		text string
+		wall float64
+	}
+	reports, err := parallel.Map(len(selected), func(i int) (report, error) {
+		start := time.Now()
+		res, err := selected[i].fn()
+		if err != nil {
+			return report{}, fmt.Errorf("%s: %w", selected[i].name, err)
+		}
+		return report{text: res.String(), wall: time.Since(start).Seconds()}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range reports {
+		fmt.Printf("=== %s (%.1fs wall clock) ===\n%s\n", selected[i].name, r.wall, r.text)
+	}
+}
+
+// ablationsReport bundles the six ablation studies into one printable block.
+type ablationsReport []fmt.Stringer
+
+func (r ablationsReport) String() string {
+	parts := make([]string, len(r))
+	for i, s := range r {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// runAblations executes the design-choice ablations concurrently and keeps
+// their traditional output order.
+func runAblations(env *experiments.Env) (fmt.Stringer, error) {
+	runs := []func() (fmt.Stringer, error){
+		func() (fmt.Stringer, error) { return experiments.RunLogOutputAblation(env) },
+		func() (fmt.Stringer, error) { return experiments.RunAlphaAblation(env) },
+		func() (fmt.Stringer, error) { return experiments.RunPolicyAblation(env) },
+		func() (fmt.Stringer, error) { return experiments.RunNeighborKAblation(env, nil) },
+		func() (fmt.Stringer, error) { return experiments.RunTopologyAblation(env) },
+		func() (fmt.Stringer, error) { return experiments.RunTrainingSizeCurve(env, nil) },
+	}
+	out, err := parallel.Map(len(runs), func(i int) (fmt.Stringer, error) {
+		return runs[i]()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ablationsReport(out), nil
 }
 
 func fatal(err error) {

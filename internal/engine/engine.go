@@ -22,6 +22,7 @@ import (
 	"intellisphere/internal/core/subop"
 	"intellisphere/internal/nn"
 	"intellisphere/internal/optimizer"
+	"intellisphere/internal/parallel"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/querygrid"
 	"intellisphere/internal/remote"
@@ -39,6 +40,11 @@ type Config struct {
 	Link querygrid.LinkConfig
 	// Seed drives the master's own simulator noise.
 	Seed int64
+	// Workers bounds the process-wide worker pool used for parallel training
+	// and candidate costing. 0 keeps the current setting (GOMAXPROCS by
+	// default, or the INTELLISPHERE_WORKERS environment variable); 1 forces
+	// serial execution. All results are identical at any worker count.
+	Workers int
 }
 
 // Engine is the master engine.
@@ -65,6 +71,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Link.BandwidthBytesPerSec == 0 {
 		cfg.Link = querygrid.DefaultLink()
+	}
+	if cfg.Workers > 0 {
+		parallel.SetWorkers(cfg.Workers)
 	}
 	master, err := remote.NewRDBMS(querygrid.Master, cfg.Master, remote.Options{Seed: cfg.Seed, NoiseAmp: 0.02})
 	if err != nil {

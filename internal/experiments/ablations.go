@@ -6,6 +6,7 @@ import (
 
 	"intellisphere/internal/core/subop"
 	"intellisphere/internal/nn"
+	"intellisphere/internal/parallel"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/remote"
 	"intellisphere/internal/stats"
@@ -64,7 +65,11 @@ func RunLogOutputAblation(env *Env) (*LogOutputAblationResult, error) {
 	trainX, trainY, testX, testY := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
 	d := len(plan.JoinDimNames())
 	res := &LogOutputAblationResult{}
-	for _, logOut := range []bool{false, true} {
+	// The two target encodings train independently; run both variants
+	// concurrently (each training run is worker-count invariant).
+	type variant struct{ pct, r2, med float64 }
+	variants, err := parallel.Map(2, func(i int) (variant, error) {
+		logOut := i == 1
 		reg, _, err := nn.TrainRegressor(trainX, trainY, nn.RegressorConfig{
 			Network: nn.Config{InputDim: d, Hidden: []int{2 * d, d}, Activation: nn.Tanh, Seed: cfg.Seed},
 			Train: nn.TrainConfig{Iterations: cfg.NNIterations, LearningRate: 0.01,
@@ -72,23 +77,24 @@ func RunLogOutputAblation(env *Env) (*LogOutputAblationResult, error) {
 			LogOutput: logOut,
 		})
 		if err != nil {
-			return nil, err
+			return variant{}, err
 		}
 		pred := reg.PredictAll(testX)
 		line, pct, err := accuracyLine(pred, testY)
 		if err != nil {
-			return nil, err
+			return variant{}, err
 		}
 		med, err := medianRelErr(pred, testY)
 		if err != nil {
-			return nil, err
+			return variant{}, err
 		}
-		if logOut {
-			res.LogRMSEPct, res.LogR2, res.LogMedRelErr = pct, line.R2, med
-		} else {
-			res.RawRMSEPct, res.RawR2, res.RawMedRelErr = pct, line.R2, med
-		}
+		return variant{pct: pct, r2: line.R2, med: med}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.RawRMSEPct, res.RawR2, res.RawMedRelErr = variants[0].pct, variants[0].r2, variants[0].med
+	res.LogRMSEPct, res.LogR2, res.LogMedRelErr = variants[1].pct, variants[1].r2, variants[1].med
 	return res, nil
 }
 
@@ -188,13 +194,16 @@ func RunPolicyAblation(env *Env) (*PolicyAblationResult, error) {
 			})
 		}
 	}
-	var actual []float64
-	for _, spec := range specs {
-		ex, err := env.Hive.ExecuteJoin(spec)
+	// Ground-truth executions are independent simulated queries; fan them out.
+	actual, err := parallel.Map(len(specs), func(i int) (float64, error) {
+		ex, err := env.Hive.ExecuteJoin(specs[i])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		actual = append(actual, ex.ElapsedSec)
+		return ex.ElapsedSec, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &PolicyAblationResult{N: len(specs)}
 	score := func(p subop.ChoicePolicy) (float64, error) {
@@ -202,25 +211,27 @@ func RunPolicyAblation(env *Env) (*PolicyAblationResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		var pred []float64
-		for _, spec := range specs {
-			ce, err := est.EstimateJoin(spec)
+		pred, err := parallel.Map(len(specs), func(i int) (float64, error) {
+			ce, err := est.EstimateJoin(specs[i])
 			if err != nil {
 				return 0, err
 			}
-			pred = append(pred, ce.Seconds)
+			return ce.Seconds, nil
+		})
+		if err != nil {
+			return 0, err
 		}
 		return stats.RMSEPercent(pred, actual)
 	}
-	if res.WorstPct, err = score(subop.WorstCase); err != nil {
+	// The three policies share read-only models, so they score concurrently.
+	policies := []subop.ChoicePolicy{subop.WorstCase, subop.AverageCase, subop.InHouseComparable}
+	pcts, err := parallel.Map(len(policies), func(i int) (float64, error) {
+		return score(policies[i])
+	})
+	if err != nil {
 		return nil, err
 	}
-	if res.AvgPct, err = score(subop.AverageCase); err != nil {
-		return nil, err
-	}
-	if res.InHousePct, err = score(subop.InHouseComparable); err != nil {
-		return nil, err
-	}
+	res.WorstPct, res.AvgPct, res.InHousePct = pcts[0], pcts[1], pcts[2]
 	return res, nil
 }
 
@@ -256,12 +267,14 @@ func RunNeighborKAblation(env *Env, ks []int) (*NeighborKAblationResult, error) 
 		return nil, err
 	}
 	res := &NeighborKAblationResult{}
-	for _, k := range ks {
+	// Each k setting works on its own model clone, so the sweep fans out.
+	rows, err := parallel.Map(len(ks), func(i int) (NeighborKResult, error) {
+		k := ks[i]
 		// Re-train cheaply by cloning and adjusting the config through the
 		// snapshot (NeighborK is part of the serialized config).
 		m, err := cloneModel(s.join)
 		if err != nil {
-			return nil, err
+			return NeighborKResult{}, err
 		}
 		m.SetAlpha(0.5)
 		m.SetNeighborK(k)
@@ -269,16 +282,20 @@ func RunNeighborKAblation(env *Env, ks []int) (*NeighborKAblationResult, error) 
 		for _, spec := range s.specs {
 			est, err := m.Estimate(spec.Dims())
 			if err != nil {
-				return nil, err
+				return NeighborKResult{}, err
 			}
 			pred = append(pred, est.Seconds)
 		}
 		pct, err := stats.RMSEPercent(pred, s.actuals)
 		if err != nil {
-			return nil, err
+			return NeighborKResult{}, err
 		}
-		res.Rows = append(res.Rows, NeighborKResult{K: k, RMSEPct: pct})
+		return NeighborKResult{K: k, RMSEPct: pct}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

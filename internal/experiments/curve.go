@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"intellisphere/internal/nn"
+	"intellisphere/internal/parallel"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/workload"
 )
@@ -58,8 +59,11 @@ func RunTrainingSizeCurve(env *Env, fractions []float64) (*TrainingSizeCurveResu
 
 	d := len(plan.JoinDimNames())
 	res := &TrainingSizeCurveResult{}
-	for _, frac := range fractions {
-		n := int(frac * float64(len(trainX)))
+	// Each prefix trains an independent model; the curve points fan out
+	// across the pool. Inner training runs stay serial to keep the pool
+	// bounded (their results are worker-count invariant regardless).
+	points, err := parallel.Map(len(fractions), func(i int) (TrainingSizePoint, error) {
+		n := int(fractions[i] * float64(len(trainX)))
 		if n < d+2 {
 			n = d + 2
 		}
@@ -69,22 +73,26 @@ func RunTrainingSizeCurve(env *Env, fractions []float64) (*TrainingSizeCurveResu
 		reg, _, err := nn.TrainRegressor(trainX[:n], trainY[:n], nn.RegressorConfig{
 			Network: nn.Config{InputDim: d, Hidden: []int{2 * d, d}, Activation: nn.Tanh, Seed: cfg.Seed},
 			Train: nn.TrainConfig{Iterations: cfg.NNIterations, LearningRate: 0.01,
-				BatchSize: 64, Optimizer: nn.Adam, Seed: cfg.Seed},
+				BatchSize: 64, Optimizer: nn.Adam, Seed: cfg.Seed, Workers: 1},
 			LogOutput: true,
 		})
 		if err != nil {
-			return nil, err
+			return TrainingSizePoint{}, err
 		}
 		line, pct, err := accuracyLine(reg.PredictAll(testX), testY)
 		if err != nil {
-			return nil, err
+			return TrainingSizePoint{}, err
 		}
-		res.Points = append(res.Points, TrainingSizePoint{
+		return TrainingSizePoint{
 			Queries:    n,
 			TrainSec:   perQuery * float64(n),
 			RMSEPct:    pct,
 			AccuracyR2: line.R2,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }

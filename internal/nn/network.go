@@ -6,6 +6,12 @@
 // sigmoid activations, SGD-with-momentum and Adam trainers, min-max (and
 // optionally log-space) normalization, and the cross-validation topology
 // search described in the paper.
+//
+// Weights live in one contiguous row-major slab per layer, so the forward
+// and backward passes are tight index loops with no per-sample allocations,
+// and Forward is safe for concurrent use (scratch activations come from a
+// pool). The layered [][]float64 view survives only in the JSON form, so
+// serialized models stay byte-compatible with earlier versions.
 package nn
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Activation selects a layer's nonlinearity.
@@ -103,47 +110,52 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// layer is one dense layer: out = act(W·in + b).
+// layer is one dense layer, out = act(W·in + b), with W stored as a single
+// row-major slab: W[o][i] lives at w[o*in+i].
 type layer struct {
-	W   [][]float64 // [outDim][inDim]
-	B   []float64   // [outDim]
-	Act Activation
+	in, out int
+	w       []float64 // [out*in], row-major
+	b       []float64 // [out]
+	act     Activation
 }
 
-func newLayer(in, out int, act Activation, rng *rand.Rand) *layer {
-	l := &layer{
-		W:   make([][]float64, out),
-		B:   make([]float64, out),
-		Act: act,
+func newLayer(in, out int, act Activation, rng *rand.Rand) layer {
+	l := layer{
+		in:  in,
+		out: out,
+		w:   make([]float64, out*in),
+		b:   make([]float64, out),
+		act: act,
 	}
 	// Xavier/Glorot uniform initialization keeps tiny tanh networks trainable.
+	// Row-major fill preserves the draw order of the historical [][]float64
+	// layout, so a given seed still produces the same network.
 	limit := math.Sqrt(6 / float64(in+out))
-	for o := range l.W {
-		l.W[o] = make([]float64, in)
-		for i := range l.W[o] {
-			l.W[o][i] = (rng.Float64()*2 - 1) * limit
-		}
+	for i := range l.w {
+		l.w[i] = (rng.Float64()*2 - 1) * limit
 	}
 	return l
 }
 
 func (l *layer) forward(in []float64, out []float64) {
-	for o := range l.W {
-		s := l.B[o]
-		row := l.W[o]
+	for o := 0; o < l.out; o++ {
+		s := l.b[o]
+		row := l.w[o*l.in : (o+1)*l.in]
 		for i, v := range in {
 			s += row[i] * v
 		}
-		out[o] = l.Act.apply(s)
+		out[o] = l.act.apply(s)
 	}
 }
 
 // Network is a feed-forward regression network with one linear output.
 type Network struct {
-	cfg    Config
-	layers []*layer
-	// scratch buffers sized once to avoid per-forward allocations
-	acts [][]float64
+	cfg      Config
+	layers   []layer
+	maxWidth int
+	// scratch pools forward-pass activation buffers so Forward allocates
+	// nothing in steady state yet stays safe under concurrent callers.
+	scratch sync.Pool
 }
 
 // New constructs a network with randomly initialized weights drawn from the
@@ -160,11 +172,22 @@ func New(cfg Config) (*Network, error) {
 		prev = h
 	}
 	n.layers = append(n.layers, newLayer(prev, 1, Identity, rng))
-	n.acts = make([][]float64, len(n.layers))
-	for i, l := range n.layers {
-		n.acts[i] = make([]float64, len(l.W))
-	}
+	n.initScratch()
 	return n, nil
+}
+
+func (n *Network) initScratch() {
+	n.maxWidth = 0
+	for i := range n.layers {
+		if w := n.layers[i].out; w > n.maxWidth {
+			n.maxWidth = w
+		}
+	}
+	width := n.maxWidth
+	n.scratch.New = func() any {
+		buf := make([]float64, 2*width)
+		return &buf
+	}
 }
 
 // Config returns the network's configuration.
@@ -173,35 +196,67 @@ func (n *Network) Config() Config { return n.cfg }
 // NumParams returns the total number of weights and biases.
 func (n *Network) NumParams() int {
 	total := 0
-	for _, l := range n.layers {
-		total += len(l.B)
-		for _, row := range l.W {
-			total += len(row)
-		}
+	for i := range n.layers {
+		total += len(n.layers[i].w) + len(n.layers[i].b)
 	}
 	return total
 }
 
 // Forward runs inference on a single (already normalized) input vector and
-// returns the raw network output.
+// returns the raw network output. It is safe for concurrent use.
 func (n *Network) Forward(x []float64) float64 {
 	if len(x) != n.cfg.InputDim {
 		panic(fmt.Sprintf("nn: Forward with %d inputs on a %d-input network", len(x), n.cfg.InputDim))
 	}
+	bufp := n.scratch.Get().(*[]float64)
+	buf := *bufp
 	in := x
-	for i, l := range n.layers {
-		l.forward(in, n.acts[i])
-		in = n.acts[i]
+	cur, next := buf[:n.maxWidth], buf[n.maxWidth:]
+	for i := range n.layers {
+		l := &n.layers[i]
+		l.forward(in, cur[:l.out])
+		in = cur[:l.out]
+		cur, next = next, cur
 	}
-	return in[0]
+	res := in[0]
+	n.scratch.Put(bufp)
+	return res
+}
+
+// activations is a per-worker forward/backward scratch area: one flat slab
+// holding every layer's activation and delta vectors.
+type activations struct {
+	acts   [][]float64
+	deltas [][]float64
+}
+
+func newActivations(n *Network) *activations {
+	a := &activations{
+		acts:   make([][]float64, len(n.layers)),
+		deltas: make([][]float64, len(n.layers)),
+	}
+	total := 0
+	for i := range n.layers {
+		total += n.layers[i].out
+	}
+	slab := make([]float64, 2*total)
+	off := 0
+	for i := range n.layers {
+		w := n.layers[i].out
+		a.acts[i] = slab[off : off+w : off+w]
+		off += w
+		a.deltas[i] = slab[off : off+w : off+w]
+		off += w
+	}
+	return a
 }
 
 // forwardStore runs a forward pass writing the activations of every layer
-// into dst (pre-sized like n.acts) and returns the output.
+// into dst and returns the output.
 func (n *Network) forwardStore(x []float64, dst [][]float64) float64 {
 	in := x
-	for i, l := range n.layers {
-		l.forward(in, dst[i])
+	for i := range n.layers {
+		n.layers[i].forward(in, dst[i])
 		in = dst[i]
 	}
 	return in[0]
@@ -220,11 +275,17 @@ type layerSnap struct {
 }
 
 // MarshalJSON serializes the full network (topology + weights) so trained
-// models can be stored inside a remote system's costing profile.
+// models can be stored inside a remote system's costing profile. The wire
+// format keeps the historical nested-row layout.
 func (n *Network) MarshalJSON() ([]byte, error) {
 	s := snapshot{Config: n.cfg}
-	for _, l := range n.layers {
-		s.Layers = append(s.Layers, layerSnap{W: l.W, B: l.B, Act: l.Act})
+	for li := range n.layers {
+		l := &n.layers[li]
+		rows := make([][]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			rows[o] = append([]float64(nil), l.w[o*l.in:(o+1)*l.in]...)
+		}
+		s.Layers = append(s.Layers, layerSnap{W: rows, B: append([]float64(nil), l.b...), Act: l.act})
 	}
 	return json.Marshal(s)
 }
@@ -243,13 +304,22 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	}
 	n.cfg = s.Config
 	n.layers = nil
-	for _, ls := range s.Layers {
-		l := &layer{W: ls.W, B: ls.B, Act: ls.Act}
+	prev := s.Config.InputDim
+	for li, ls := range s.Layers {
+		out := len(ls.W)
+		if out == 0 || len(ls.B) != out {
+			return fmt.Errorf("nn: snapshot layer %d has %d weight rows and %d biases", li, out, len(ls.B))
+		}
+		l := layer{in: prev, out: out, w: make([]float64, out*prev), b: append([]float64(nil), ls.B...), act: ls.Act}
+		for o, row := range ls.W {
+			if len(row) != prev {
+				return fmt.Errorf("nn: snapshot layer %d row %d has %d weights, want %d", li, o, len(row), prev)
+			}
+			copy(l.w[o*prev:(o+1)*prev], row)
+		}
 		n.layers = append(n.layers, l)
+		prev = out
 	}
-	n.acts = make([][]float64, len(n.layers))
-	for i, l := range n.layers {
-		n.acts[i] = make([]float64, len(l.W))
-	}
+	n.initScratch()
 	return nil
 }

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTrainNegativeBatchSizeError(t *testing.T) {
+	n, _ := New(Config{InputDim: 1, Hidden: []int{3}})
+	_, err := n.Train([][]float64{{1}, {2}}, []float64{1, 2}, TrainConfig{Iterations: 1, BatchSize: -8})
+	if err == nil {
+		t.Fatal("expected error for negative BatchSize")
+	}
+}
+
+// trainWeights trains a fresh network with the given worker count and
+// returns the final RMSE plus the serialized weights.
+func trainWeights(t *testing.T, workers int) (float64, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	x := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 0.4*x[i][0] + x[i][1]*x[i][2]
+	}
+	n, err := New(Config{InputDim: 3, Hidden: []int{6, 3}, Activation: Tanh, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full batch (300 samples) spans several gradient chunks, so the
+	// parallel reduction path is genuinely exercised.
+	res, err := n.Train(x, y, TrainConfig{Iterations: 60, Optimizer: Adam, Seed: 4, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.FinalRMSE, data
+}
+
+// Determinism regression: serial and parallel training must produce
+// identical weights and RMSE — not approximately, bit-for-bit. The chunked
+// ordered reduction in Train guarantees it for any worker count.
+func TestTrainParallelMatchesSerialExactly(t *testing.T) {
+	serialRMSE, serialWeights := trainWeights(t, 1)
+	for _, w := range []int{2, 4, 7} {
+		rmse, weights := trainWeights(t, w)
+		if rmse != serialRMSE {
+			t.Errorf("workers=%d: FinalRMSE %v != serial %v", w, rmse, serialRMSE)
+		}
+		if string(weights) != string(serialWeights) {
+			t.Errorf("workers=%d: trained weights differ from serial run", w)
+		}
+	}
+}
+
+// Forward must be safe for concurrent callers (the optimizer costs
+// placement candidates in parallel against shared estimators).
+func TestForwardConcurrent(t *testing.T) {
+	n, _ := New(Config{InputDim: 2, Hidden: []int{5, 3}, Activation: Tanh, Seed: 8})
+	in := []float64{0.3, 0.7}
+	want := n.Forward(in)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := n.Forward(in); got != want {
+					t.Errorf("concurrent Forward = %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

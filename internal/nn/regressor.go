@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"intellisphere/internal/parallel"
 	"intellisphere/internal/stats"
 )
 
@@ -156,12 +157,14 @@ func (r *Regressor) Predict(x []float64) float64 {
 	return r.Norm.Inverse(r.Net.Forward(r.Norm.In(x)))
 }
 
-// PredictAll evaluates the regressor over a dataset.
+// PredictAll evaluates the regressor over a dataset. Samples fan out across
+// the worker pool; each writes only its own output slot, so the result is
+// identical to a serial loop.
 func (r *Regressor) PredictAll(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	for i := range x {
+	parallel.ForEach(len(x), func(i int) {
 		out[i] = r.Predict(x[i])
-	}
+	})
 	return out
 }
 
@@ -232,30 +235,45 @@ func SearchTopology(x [][]float64, y []float64, base RegressorConfig) (Config, [
 	d := base.Network.InputDim
 	trainX, trainY, testX, testY := Split(x, y, 0.7, base.Network.Seed)
 
-	var results []TopologyResult
-	best := Config{}
-	bestErr := math.Inf(1)
+	// Enumerate every candidate topology first, then train them across the
+	// worker pool: each candidate is an independent training run, and the
+	// candidate list is in a fixed order, so the fan-out changes nothing but
+	// wall clock. The inner training runs are forced serial to keep the pool
+	// bounded (training results are worker-count invariant anyway).
+	var hiddens [][]int
 	for h1 := d; h1 <= 2*d; h1++ {
 		maxH2 := h1 / 2
 		if maxH2 < 3 {
 			maxH2 = 3
 		}
 		for h2 := 3; h2 <= maxH2; h2++ {
-			cfg := base
-			cfg.Network.Hidden = []int{h1, h2}
-			reg, _, err := TrainRegressor(trainX, trainY, cfg)
-			if err != nil {
-				return Config{}, nil, err
-			}
-			rm, err := stats.RMSE(reg.PredictAll(testX), testY)
-			if err != nil {
-				return Config{}, nil, err
-			}
-			results = append(results, TopologyResult{Hidden: []int{h1, h2}, TestRMSE: rm})
-			if rm < bestErr {
-				bestErr = rm
-				best = cfg.Network
-			}
+			hiddens = append(hiddens, []int{h1, h2})
+		}
+	}
+	results, err := parallel.Map(len(hiddens), func(i int) (TopologyResult, error) {
+		cfg := base
+		cfg.Network.Hidden = hiddens[i]
+		cfg.Train.Workers = 1
+		reg, _, err := TrainRegressor(trainX, trainY, cfg)
+		if err != nil {
+			return TopologyResult{}, err
+		}
+		rm, err := stats.RMSE(reg.PredictAll(testX), testY)
+		if err != nil {
+			return TopologyResult{}, err
+		}
+		return TopologyResult{Hidden: hiddens[i], TestRMSE: rm}, nil
+	})
+	if err != nil {
+		return Config{}, nil, err
+	}
+	best := Config{}
+	bestErr := math.Inf(1)
+	for _, r := range results {
+		if r.TestRMSE < bestErr {
+			bestErr = r.TestRMSE
+			best = base.Network
+			best.Hidden = r.Hidden
 		}
 	}
 	return best, results, nil

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"intellisphere/internal/parallel"
 	"intellisphere/internal/stats"
 )
 
@@ -18,16 +19,28 @@ const (
 	Adam
 )
 
+// gradChunk is the fixed shard size for gradient accumulation. Each batch is
+// cut into contiguous chunks of this many samples; chunks accumulate into
+// private buffers and are reduced in chunk order, so the summation order —
+// and therefore every trained weight — is bit-identical for any worker
+// count. The value matches the default mini-batch size of the paper's
+// training configurations, keeping single-chunk batches on the fast path.
+const gradChunk = 64
+
 // TrainConfig controls a training run. An "iteration" is one pass over the
 // training set (the unit the paper's convergence plots use on their x axis).
 type TrainConfig struct {
 	Iterations   int       // number of epochs; must be positive
 	LearningRate float64   // step size; defaults to 0.01 if zero
-	BatchSize    int       // mini-batch size; 0 means full batch
+	BatchSize    int       // mini-batch size; 0 means full batch; negative is an error
 	Momentum     float64   // SGD momentum (ignored by Adam)
 	Optimizer    Optimizer // SGD or Adam
 	Seed         int64     // shuffling seed
 	CheckEvery   int       // record the training RMSE every N iterations (0 = never)
+	// Workers bounds the gradient-accumulation pool for this run. 0 uses the
+	// process-wide default (parallel.Workers); 1 forces serial execution.
+	// Results are identical either way — the knob only trades wall clock.
+	Workers int
 }
 
 // ConvergencePoint is one sample of the training-set RMSE during training,
@@ -43,38 +56,61 @@ type TrainResult struct {
 	FinalRMSE float64
 }
 
-// gradients mirrors the network's layer shapes.
+// gradients holds one flat buffer per layer, mirroring the network's slabs.
 type gradients struct {
-	dW [][][]float64
-	dB [][]float64
+	w [][]float64 // per layer, [out*in]
+	b [][]float64 // per layer, [out]
 }
 
 func newGradients(n *Network) *gradients {
-	g := &gradients{}
-	for _, l := range n.layers {
-		dw := make([][]float64, len(l.W))
-		for o := range dw {
-			dw[o] = make([]float64, len(l.W[o]))
-		}
-		g.dW = append(g.dW, dw)
-		g.dB = append(g.dB, make([]float64, len(l.B)))
+	g := &gradients{
+		w: make([][]float64, len(n.layers)),
+		b: make([][]float64, len(n.layers)),
+	}
+	for li := range n.layers {
+		g.w[li] = make([]float64, len(n.layers[li].w))
+		g.b[li] = make([]float64, len(n.layers[li].b))
 	}
 	return g
 }
 
 func (g *gradients) zero() {
-	for li := range g.dW {
-		for o := range g.dW[li] {
-			for i := range g.dW[li][o] {
-				g.dW[li][o][i] = 0
-			}
-			g.dB[li][o] = 0
+	for li := range g.w {
+		clear(g.w[li])
+		clear(g.b[li])
+	}
+}
+
+// add folds another gradient buffer into g (the ordered chunk reduction).
+func (g *gradients) add(o *gradients) {
+	for li := range g.w {
+		dst, src := g.w[li], o.w[li]
+		for i := range dst {
+			dst[i] += src[i]
+		}
+		dstB, srcB := g.b[li], o.b[li]
+		for i := range dstB {
+			dstB[i] += srcB[i]
 		}
 	}
 }
 
+// gradWorker is the per-chunk accumulation state: a private gradient buffer
+// plus forward/backward scratch. Everything is allocated once per worker
+// slot, so the per-sample path allocates nothing.
+type gradWorker struct {
+	grads *gradients
+	acts  *activations
+}
+
 // Train fits the network on (x, y) with mean-squared-error loss. Inputs are
 // expected to be normalized already (see Normalizer); Train does not scale.
+//
+// Gradient accumulation is data-parallel: each mini-batch is sharded into
+// fixed-size chunks spread across a bounded worker pool, and the per-chunk
+// gradients are reduced in chunk order. The chunk layout depends only on the
+// batch size, so training is deterministic for a fixed seed and produces
+// bit-identical weights at every worker count.
 func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResult, error) {
 	if len(x) != len(y) {
 		return nil, stats.ErrLengthMismatch
@@ -84,6 +120,9 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 	}
 	if tc.Iterations <= 0 {
 		return nil, errors.New("nn: Iterations must be positive")
+	}
+	if tc.BatchSize < 0 {
+		return nil, fmt.Errorf("nn: BatchSize %d must be non-negative (0 selects full batch)", tc.BatchSize)
 	}
 	for i, row := range x {
 		if len(row) != n.cfg.InputDim {
@@ -95,7 +134,7 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 		lr = 0.01
 	}
 	batch := tc.BatchSize
-	if batch <= 0 || batch > len(x) {
+	if batch == 0 || batch > len(x) {
 		batch = len(x)
 	}
 
@@ -112,12 +151,12 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 	adamV := newGradients(n)
 	adamT := 0
 
-	// Per-layer activations and deltas for backprop.
-	acts := make([][]float64, len(n.layers))
-	deltas := make([][]float64, len(n.layers))
-	for i, l := range n.layers {
-		acts[i] = make([]float64, len(l.W))
-		deltas[i] = make([]float64, len(l.W))
+	workers := tc.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	newWorker := func() *gradWorker {
+		return &gradWorker{grads: newGradients(n), acts: newActivations(n)}
 	}
 
 	res := &TrainResult{}
@@ -128,10 +167,18 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 			if end > len(order) {
 				end = len(order)
 			}
+			idxs := order[start:end]
 			grads.zero()
-			for _, idx := range order[start:end] {
-				n.accumulate(x[idx], y[idx], acts, deltas, grads)
-			}
+			parallel.MapReduce(len(idxs), gradChunk, workers,
+				newWorker,
+				func(w *gradWorker) { w.grads.zero() },
+				func(w *gradWorker, cs, ce int) {
+					for _, idx := range idxs[cs:ce] {
+						n.accumulate(x[idx], y[idx], w.acts, w.grads)
+					}
+				},
+				func(w *gradWorker) { grads.add(w.grads) },
+			)
 			scale := 1 / float64(end-start)
 			switch tc.Optimizer {
 			case Adam:
@@ -142,43 +189,50 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 			}
 		}
 		if tc.CheckEvery > 0 && (iter%tc.CheckEvery == 0 || iter == tc.Iterations) {
-			res.History = append(res.History, ConvergencePoint{Iteration: iter, RMSE: n.rmse(x, y)})
+			res.History = append(res.History, ConvergencePoint{Iteration: iter, RMSE: n.rmse(x, y, workers)})
 		}
 	}
-	res.FinalRMSE = n.rmse(x, y)
+	res.FinalRMSE = n.rmse(x, y, workers)
 	return res, nil
 }
 
 // accumulate adds the gradient of the squared error at (xi, yi) into grads.
-func (n *Network) accumulate(xi []float64, yi float64, acts, deltas [][]float64, grads *gradients) {
-	out := n.forwardStore(xi, acts)
+func (n *Network) accumulate(xi []float64, yi float64, sc *activations, grads *gradients) {
+	out := n.forwardStore(xi, sc.acts)
 	last := len(n.layers) - 1
 
 	// Output layer delta: d(0.5*(out-y)²)/d(pre-act) with identity output.
-	deltas[last][0] = out - yi
+	sc.deltas[last][0] = out - yi
 
 	// Backpropagate through hidden layers.
 	for li := last - 1; li >= 0; li-- {
-		next := n.layers[li+1]
-		for o := range deltas[li] {
+		next := &n.layers[li+1]
+		act := n.layers[li].act
+		cur := sc.deltas[li]
+		nextDeltas := sc.deltas[li+1]
+		for o := range cur {
 			s := 0.0
-			for no := range next.W {
-				s += next.W[no][o] * deltas[li+1][no]
+			for no := 0; no < next.out; no++ {
+				s += next.w[no*next.in+o] * nextDeltas[no]
 			}
-			deltas[li][o] = s * n.layers[li].Act.derivative(acts[li][o])
+			cur[o] = s * act.derivative(sc.acts[li][o])
 		}
 	}
 
 	// Accumulate weight/bias gradients.
-	for li, l := range n.layers {
+	for li := range n.layers {
+		l := &n.layers[li]
 		in := xi
 		if li > 0 {
-			in = acts[li-1]
+			in = sc.acts[li-1]
 		}
-		for o := range l.W {
-			d := deltas[li][o]
-			grads.dB[li][o] += d
-			row := grads.dW[li][o]
+		dW := grads.w[li]
+		dB := grads.b[li]
+		deltas := sc.deltas[li]
+		for o := 0; o < l.out; o++ {
+			d := deltas[o]
+			dB[o] += d
+			row := dW[o*l.in : (o+1)*l.in]
 			for i, v := range in {
 				row[i] += d * v
 			}
@@ -187,14 +241,17 @@ func (n *Network) accumulate(xi []float64, yi float64, acts, deltas [][]float64,
 }
 
 func (n *Network) stepSGD(grads, vel *gradients, momentum, lr, scale float64) {
-	for li, l := range n.layers {
-		for o := range l.W {
-			for i := range l.W[o] {
-				vel.dW[li][o][i] = momentum*vel.dW[li][o][i] - lr*grads.dW[li][o][i]*scale
-				l.W[o][i] += vel.dW[li][o][i]
-			}
-			vel.dB[li][o] = momentum*vel.dB[li][o] - lr*grads.dB[li][o]*scale
-			l.B[o] += vel.dB[li][o]
+	for li := range n.layers {
+		l := &n.layers[li]
+		vw, gw := vel.w[li], grads.w[li]
+		for i := range l.w {
+			vw[i] = momentum*vw[i] - lr*gw[i]*scale
+			l.w[i] += vw[i]
+		}
+		vb, gb := vel.b[li], grads.b[li]
+		for o := range l.b {
+			vb[o] = momentum*vb[o] - lr*gb[o]*scale
+			l.b[o] += vb[o]
 		}
 	}
 }
@@ -207,27 +264,37 @@ func (n *Network) stepAdam(grads, m, v *gradients, t int, lr, scale float64) {
 	)
 	bc1 := 1 - math.Pow(beta1, float64(t))
 	bc2 := 1 - math.Pow(beta2, float64(t))
-	for li, l := range n.layers {
-		for o := range l.W {
-			for i := range l.W[o] {
-				g := grads.dW[li][o][i] * scale
-				m.dW[li][o][i] = beta1*m.dW[li][o][i] + (1-beta1)*g
-				v.dW[li][o][i] = beta2*v.dW[li][o][i] + (1-beta2)*g*g
-				l.W[o][i] -= lr * (m.dW[li][o][i] / bc1) / (math.Sqrt(v.dW[li][o][i]/bc2) + eps)
-			}
-			g := grads.dB[li][o] * scale
-			m.dB[li][o] = beta1*m.dB[li][o] + (1-beta1)*g
-			v.dB[li][o] = beta2*v.dB[li][o] + (1-beta2)*g*g
-			l.B[o] -= lr * (m.dB[li][o] / bc1) / (math.Sqrt(v.dB[li][o]/bc2) + eps)
+	for li := range n.layers {
+		l := &n.layers[li]
+		mw, vw, gw := m.w[li], v.w[li], grads.w[li]
+		for i := range l.w {
+			g := gw[i] * scale
+			mw[i] = beta1*mw[i] + (1-beta1)*g
+			vw[i] = beta2*vw[i] + (1-beta2)*g*g
+			l.w[i] -= lr * (mw[i] / bc1) / (math.Sqrt(vw[i]/bc2) + eps)
+		}
+		mb, vb, gb := m.b[li], v.b[li], grads.b[li]
+		for o := range l.b {
+			g := gb[o] * scale
+			mb[o] = beta1*mb[o] + (1-beta1)*g
+			vb[o] = beta2*vb[o] + (1-beta2)*g*g
+			l.b[o] -= lr * (mb[o] / bc1) / (math.Sqrt(vb[o]/bc2) + eps)
 		}
 	}
 }
 
-// rmse computes the network's RMSE over a normalized dataset.
-func (n *Network) rmse(x [][]float64, y []float64) float64 {
+// rmse computes the network's RMSE over a normalized dataset. Predictions
+// fan out across the pool (each sample owns its output slot); the squared
+// errors are then summed serially in index order, keeping the value
+// independent of the worker count.
+func (n *Network) rmse(x [][]float64, y []float64, workers int) float64 {
+	pred := make([]float64, len(x))
+	parallel.ForEachN(workers, len(x), func(i int) {
+		pred[i] = n.Forward(x[i])
+	})
 	ss := 0.0
-	for i := range x {
-		d := n.Forward(x[i]) - y[i]
+	for i := range pred {
+		d := pred[i] - y[i]
 		ss += d * d
 	}
 	return math.Sqrt(ss / float64(len(x)))

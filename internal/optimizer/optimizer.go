@@ -9,6 +9,7 @@ import (
 	"intellisphere/internal/catalog"
 	"intellisphere/internal/core"
 	"intellisphere/internal/core/subop"
+	"intellisphere/internal/parallel"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/querygrid"
 	"intellisphere/internal/sqlparse"
@@ -210,34 +211,41 @@ func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
 		Selectivity:   sel,
 		OutputRowSize: proj,
 	}
-	var cands []candidate
-	for _, sys := range o.placements(owner) {
+	// Every placement is costed independently (estimators are safe for
+	// concurrent use), so candidates fan out across the worker pool; the
+	// ordered results keep plan selection identical to a serial sweep.
+	systems := o.placements(owner)
+	cands, err := parallel.Map(len(systems), func(i int) (candidate, error) {
+		sys := systems[i]
 		est, err := o.estimator(sys)
 		if err != nil {
-			return nil, err
+			return candidate{}, err
 		}
 		c := candidate{desc: fmt.Sprintf("scan on %s", sys)}
 		if sys != owner {
 			// Ship the (filtered, thanks to QueryGrid pushdown) table first.
 			sec, err := o.Grid.TransferCostFiltered(owner, sys, float64(t.Rows), float64(t.RowSize()), sel)
 			if err != nil {
-				return nil, err
+				return candidate{}, err
 			}
 			c.add(Step{Kind: "transfer", From: owner, System: sys,
 				Rows: float64(t.Rows) * sel, RowSize: float64(t.RowSize()), EstimatedSec: sec})
 		}
 		ce, err := est.EstimateScan(spec)
 		if err != nil {
-			return nil, fmt.Errorf("optimizer: scan estimate on %q: %w", sys, err)
+			return candidate{}, fmt.Errorf("optimizer: scan estimate on %q: %w", sys, err)
 		}
 		c.add(Step{Kind: "scan", System: sys, Scan: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
 		// Final result must land on the master.
 		if ts, err := o.transferStep(sys, querygrid.Master, spec.OutputRows(), proj); err != nil {
-			return nil, err
+			return candidate{}, err
 		} else if ts != nil {
 			c.add(*ts)
 		}
-		cands = append(cands, c)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pickBest(cands, spec.OutputRows(), proj), nil
 }
@@ -284,32 +292,36 @@ func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
 		OutputRowSize: outSize,
 		NumAggregates: numAggs,
 	}
-	var cands []candidate
-	for _, sys := range o.placements(owner) {
+	systems := o.placements(owner)
+	cands, err := parallel.Map(len(systems), func(i int) (candidate, error) {
+		sys := systems[i]
 		est, err := o.estimator(sys)
 		if err != nil {
-			return nil, err
+			return candidate{}, err
 		}
 		c := candidate{desc: fmt.Sprintf("aggregation on %s", sys)}
 		if sys != owner {
 			sec, err := o.Grid.TransferCostFiltered(owner, sys, float64(t.Rows), float64(t.RowSize()), sel)
 			if err != nil {
-				return nil, err
+				return candidate{}, err
 			}
 			c.add(Step{Kind: "transfer", From: owner, System: sys,
 				Rows: inRows, RowSize: float64(t.RowSize()), EstimatedSec: sec})
 		}
 		ce, err := est.EstimateAgg(spec)
 		if err != nil {
-			return nil, fmt.Errorf("optimizer: aggregation estimate on %q: %w", sys, err)
+			return candidate{}, fmt.Errorf("optimizer: aggregation estimate on %q: %w", sys, err)
 		}
 		c.add(Step{Kind: "aggregation", System: sys, Agg: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
 		if ts, err := o.transferStep(sys, querygrid.Master, outRows, outSize); err != nil {
-			return nil, err
+			return candidate{}, err
 		} else if ts != nil {
 			c.add(*ts)
 		}
-		cands = append(cands, c)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pickBest(cands, outRows, outSize), nil
 }
@@ -455,24 +467,26 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 			return nil, fmt.Errorf("optimizer: join %d spec: %w", i+1, err)
 		}
 
-		// Greedy placement of this join step.
+		// Greedy placement of this join step: cost every candidate system
+		// concurrently, then select from the ordered results exactly as a
+		// serial sweep would (first-seen wins cost ties).
 		type option struct {
 			sys   string
 			steps []Step
 			cost  float64
 		}
-		var best *option
-		var rejected []option
-		for _, sys := range o.placements(curLoc, nxtOwner) {
+		systems := o.placements(curLoc, nxtOwner)
+		options, err := parallel.Map(len(systems), func(oi int) (option, error) {
+			sys := systems[oi]
 			est, err := o.estimator(sys)
 			if err != nil {
-				return nil, err
+				return option{}, err
 			}
 			opt := option{sys: sys}
 			if sys != curLoc {
 				sec, terr := o.shipInput(curLoc, sys, curBase, a, left)
 				if terr != nil {
-					return nil, terr
+					return option{}, terr
 				}
 				opt.steps = append(opt.steps, Step{Kind: "transfer", From: curLoc, System: sys,
 					Rows: left.Rows, RowSize: left.RowSize, EstimatedSec: sec})
@@ -481,7 +495,7 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 			if sys != nxtOwner {
 				sec, terr := o.shipInput(nxtOwner, sys, st.newBinding, a, nxt)
 				if terr != nil {
-					return nil, terr
+					return option{}, terr
 				}
 				opt.steps = append(opt.steps, Step{Kind: "transfer", From: nxtOwner, System: sys,
 					Rows: nxt.Rows, RowSize: nxt.RowSize, EstimatedSec: sec})
@@ -489,12 +503,21 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 			}
 			ce, err := est.EstimateJoin(spec)
 			if err != nil {
-				return nil, fmt.Errorf("optimizer: join estimate on %q: %w", sys, err)
+				return option{}, fmt.Errorf("optimizer: join estimate on %q: %w", sys, err)
 			}
 			specCopy := spec
 			opt.steps = append(opt.steps, Step{Kind: "join", System: sys, Join: &specCopy,
 				EstimatedSec: ce.Seconds, Estimate: ce})
 			opt.cost += ce.Seconds
+			return opt, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var best *option
+		var rejected []option
+		for oi := range options {
+			opt := options[oi]
 			if best == nil || opt.cost < best.cost {
 				if best != nil {
 					rejected = append(rejected, *best)

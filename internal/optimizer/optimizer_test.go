@@ -22,7 +22,7 @@ type fixture struct {
 	opt *Optimizer
 }
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t testing.TB) *fixture {
 	t.Helper()
 	cat := catalog.New()
 	if err := datagen.Register(cat, "hive"); err != nil {

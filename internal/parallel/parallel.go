@@ -1,0 +1,209 @@
+// Package parallel provides the repo-wide bounded worker pool used by the
+// training, experiment, and optimizer hot paths. Its primitives are designed
+// around one invariant: results must be bit-identical no matter how many
+// workers run. Map and ForEach get that for free (each index owns its output
+// slot); MapReduce gets it by sharding work into fixed-size chunks and
+// reducing the chunk results in ascending chunk order, so floating-point
+// accumulation order never depends on scheduling or on the pool size.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable overriding the pool size. Values
+// ≤ 0 or non-numeric are ignored and the pool falls back to GOMAXPROCS.
+const EnvWorkers = "INTELLISPHERE_WORKERS"
+
+var override atomic.Int64
+
+func init() {
+	if v, err := strconv.Atoi(os.Getenv(EnvWorkers)); err == nil {
+		SetWorkers(v)
+	}
+}
+
+// SetWorkers overrides the default pool size. n ≤ 0 restores the automatic
+// GOMAXPROCS-based sizing. Engine configuration and tests use it; individual
+// call sites can also pass an explicit worker count where supported.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	override.Store(int64(n))
+}
+
+// Workers returns the pool size: the SetWorkers / INTELLISPHERE_WORKERS
+// override when present, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampWorkers resolves a caller-supplied worker count (0 = default) against
+// the number of available tasks.
+func clampWorkers(workers, tasks int) int {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the pool and blocks until
+// all calls return. Iterations must be independent; each writing only its own
+// output keeps results deterministic.
+func ForEach(n int, fn func(i int)) {
+	ForEachN(0, n, fn)
+}
+
+// ForEachN is ForEach with an explicit worker count (0 = pool default).
+func ForEachN(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := clampWorkers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index in [0, n) across the pool and returns the
+// results in index order. When calls fail, the error of the lowest failing
+// index is returned (matching what a serial loop would have reported first).
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN(0, n, fn)
+}
+
+// MapN is Map with an explicit worker count (0 = pool default).
+func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEachN(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MapReduce shards [0, n) into contiguous chunks of at most chunk indexes,
+// processes the chunks concurrently — each on a pooled state S — and calls
+// reduce exactly once per chunk in ascending chunk order. Because the chunk
+// boundaries depend only on n and chunk, and the reduction order is fixed,
+// the result is bit-identical for every worker count (including 1).
+//
+// newState allocates a fresh state, reset clears a recycled one before its
+// next chunk, process folds indexes [start, end) into the state, and reduce
+// folds one finished chunk state into the caller's accumulator. reduce runs
+// on the calling goroutine; process calls run concurrently with it but never
+// on the same state.
+func MapReduce[S any](n, chunk, workers int, newState func() S, reset func(S), process func(s S, start, end int), reduce func(s S)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 || chunk > n {
+		chunk = n
+	}
+	numChunks := (n + chunk - 1) / chunk
+	w := clampWorkers(workers, numChunks)
+	if w == 1 {
+		s := newState()
+		for c := 0; c < numChunks; c++ {
+			reset(s)
+			start := c * chunk
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			process(s, start, end)
+			reduce(s)
+		}
+		return
+	}
+
+	// w+1 pooled states bound the in-flight chunks; workers claim chunk
+	// indexes in ascending order, so the lowest unreduced chunk is always
+	// among the in-flight ones and the ordered reducer below cannot starve.
+	free := make(chan S, w+1)
+	for i := 0; i < w+1; i++ {
+		free <- newState()
+	}
+	type doneChunk struct {
+		c int
+		s S
+	}
+	ready := make(chan doneChunk, w+1)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				s := <-free
+				reset(s)
+				start := c * chunk
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				process(s, start, end)
+				ready <- doneChunk{c: c, s: s}
+			}
+		}()
+	}
+	pending := make(map[int]S, w)
+	for reduced := 0; reduced < numChunks; {
+		if s, ok := pending[reduced]; ok {
+			reduce(s)
+			delete(pending, reduced)
+			free <- s
+			reduced++
+			continue
+		}
+		d := <-ready
+		pending[d.c] = d.s
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestWorkersOverride(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got < 1 {
+		t.Errorf("Workers() = %d with auto sizing, want >= 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		n := 153
+		hits := make([]int, n)
+		ForEachN(w, n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, h)
+			}
+		}
+	}
+	ForEach(0, func(int) { t.Error("ForEach(0) must not call fn") })
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out, err := MapN(4, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	_, err := MapN(4, 50, func(i int) (int, error) {
+		if i == 17 || i == 31 {
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "boom 17" {
+		t.Fatalf("err = %v, want boom 17", err)
+	}
+	if _, err := Map(0, func(int) (int, error) { return 0, errors.New("x") }); err != nil {
+		t.Errorf("Map(0) err = %v", err)
+	}
+}
+
+// mapReduceSum folds noisy floats chunk by chunk; the sum must be
+// bit-identical across worker counts because reduction is chunk-ordered.
+func mapReduceSum(vals []float64, chunk, workers int) float64 {
+	total := 0.0
+	MapReduce(len(vals), chunk, workers,
+		func() *float64 { return new(float64) },
+		func(s *float64) { *s = 0 },
+		func(s *float64, start, end int) {
+			for i := start; i < end; i++ {
+				*s += vals[i]
+			}
+		},
+		func(s *float64) { total += *s },
+	)
+	return total
+}
+
+func TestMapReduceDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 1009) // prime length: exercises a ragged tail chunk
+	for i := range vals {
+		vals[i] = (rng.Float64() - 0.5) * 1e6
+	}
+	want := mapReduceSum(vals, 16, 1)
+	for _, w := range []int{2, 3, 8} {
+		for trial := 0; trial < 5; trial++ {
+			if got := mapReduceSum(vals, 16, w); got != want {
+				t.Fatalf("workers=%d trial %d: sum %v != serial %v", w, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestMapReduceVisitsEveryIndexOnce(t *testing.T) {
+	n := 517
+	hits := make([]int, n)
+	chunks := 0
+	MapReduce(n, 32, 4,
+		func() []int { return nil },
+		func([]int) {},
+		func(s []int, start, end int) {
+			for i := start; i < end; i++ {
+				hits[i]++
+			}
+		},
+		func([]int) { chunks++ },
+	)
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	if want := (n + 31) / 32; chunks != want {
+		t.Errorf("reduce called %d times, want %d", chunks, want)
+	}
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"intellisphere/internal/parallel"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/remote"
 )
@@ -18,24 +19,44 @@ type RunResult struct {
 	TotalSec   float64
 }
 
+// sample is one executed training query: its dimension vector plus observed
+// cost. Queries execute concurrently (the simulators are stateless, so each
+// query's outcome is independent of execution order); the result vectors are
+// then assembled serially in query order, making the RunResult identical to
+// a sequential sweep.
+type sample struct {
+	dims []float64
+	sec  float64
+}
+
+func collect(samples []sample) *RunResult {
+	res := &RunResult{}
+	for _, s := range samples {
+		res.X = append(res.X, s.dims)
+		res.Y = append(res.Y, s.sec)
+		res.TotalSec += s.sec
+		res.Cumulative = append(res.Cumulative, res.TotalSec)
+	}
+	return res
+}
+
 // RunJoinSet executes every join training query on the remote system and
 // labels it with the observed cost.
 func RunJoinSet(sys remote.System, qs []JoinQuery) (*RunResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("workload: empty join training set")
 	}
-	res := &RunResult{}
-	for i, q := range qs {
-		ex, err := sys.ExecuteJoin(q.Spec)
+	samples, err := parallel.Map(len(qs), func(i int) (sample, error) {
+		ex, err := sys.ExecuteJoin(qs[i].Spec)
 		if err != nil {
-			return nil, fmt.Errorf("workload: join query %d (%s): %w", i, q.SQL(), err)
+			return sample{}, fmt.Errorf("workload: join query %d (%s): %w", i, qs[i].SQL(), err)
 		}
-		res.X = append(res.X, q.Spec.Dims())
-		res.Y = append(res.Y, ex.ElapsedSec)
-		res.TotalSec += ex.ElapsedSec
-		res.Cumulative = append(res.Cumulative, res.TotalSec)
+		return sample{dims: qs[i].Spec.Dims(), sec: ex.ElapsedSec}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return collect(samples), nil
 }
 
 // RunAggSet executes every aggregation training query on the remote system.
@@ -43,32 +64,29 @@ func RunAggSet(sys remote.System, qs []AggQuery) (*RunResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("workload: empty aggregation training set")
 	}
-	res := &RunResult{}
-	for i, q := range qs {
-		ex, err := sys.ExecuteAgg(q.Spec)
+	samples, err := parallel.Map(len(qs), func(i int) (sample, error) {
+		ex, err := sys.ExecuteAgg(qs[i].Spec)
 		if err != nil {
-			return nil, fmt.Errorf("workload: agg query %d (%s): %w", i, q.SQL(), err)
+			return sample{}, fmt.Errorf("workload: agg query %d (%s): %w", i, qs[i].SQL(), err)
 		}
-		res.X = append(res.X, q.Spec.Dims())
-		res.Y = append(res.Y, ex.ElapsedSec)
-		res.TotalSec += ex.ElapsedSec
-		res.Cumulative = append(res.Cumulative, res.TotalSec)
+		return sample{dims: qs[i].Spec.Dims(), sec: ex.ElapsedSec}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return collect(samples), nil
 }
 
 // RunJoinSpecs executes raw join specs (the out-of-range suite) and returns
 // the observed costs.
 func RunJoinSpecs(sys remote.System, specs []plan.JoinSpec) ([]float64, error) {
-	out := make([]float64, 0, len(specs))
-	for i, s := range specs {
-		ex, err := sys.ExecuteJoin(s)
+	return parallel.Map(len(specs), func(i int) (float64, error) {
+		ex, err := sys.ExecuteJoin(specs[i])
 		if err != nil {
-			return nil, fmt.Errorf("workload: join spec %d: %w", i, err)
+			return 0, fmt.Errorf("workload: join spec %d: %w", i, err)
 		}
-		out = append(out, ex.ElapsedSec)
-	}
-	return out, nil
+		return ex.ElapsedSec, nil
+	})
 }
 
 // RunScanSet executes every scan training query on the remote system. The
@@ -78,16 +96,19 @@ func RunScanSet(sys remote.System, qs []ScanQuery) (*RunResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("workload: empty scan training set")
 	}
-	res := &RunResult{}
-	for i, q := range qs {
-		ex, err := sys.ExecuteScan(q.Spec)
+	samples, err := parallel.Map(len(qs), func(i int) (sample, error) {
+		ex, err := sys.ExecuteScan(qs[i].Spec)
 		if err != nil {
-			return nil, fmt.Errorf("workload: scan query %d (%s): %w", i, q.SQL(), err)
+			return sample{}, fmt.Errorf("workload: scan query %d (%s): %w", i, qs[i].SQL(), err)
 		}
-		res.X = append(res.X, []float64{q.Spec.InputRows, q.Spec.InputRowSize, q.Spec.OutputRows(), q.Spec.OutputRowSize})
-		res.Y = append(res.Y, ex.ElapsedSec)
-		res.TotalSec += ex.ElapsedSec
-		res.Cumulative = append(res.Cumulative, res.TotalSec)
+		spec := qs[i].Spec
+		return sample{
+			dims: []float64{spec.InputRows, spec.InputRowSize, spec.OutputRows(), spec.OutputRowSize},
+			sec:  ex.ElapsedSec,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return collect(samples), nil
 }
