@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench smoke ci
 
 all: build
 
@@ -24,4 +24,9 @@ bench:
 	$(GO) test ./internal/nn -run '^$$' -bench BenchmarkNNTrain -benchtime 1x
 	$(GO) test ./internal/optimizer -run '^$$' -bench BenchmarkOptimizerPlan -benchtime 1x
 
-ci: vet build race bench
+# End-to-end serving smoke: build cmd/serve, start it, run one query and a
+# metrics scrape over HTTP, then shut down gracefully.
+smoke:
+	GO="$(GO)" sh scripts/smoke_serve.sh
+
+ci: vet build race bench smoke

@@ -27,7 +27,7 @@ import (
 	"strings"
 
 	"intellisphere"
-	"intellisphere/internal/datagen"
+	"intellisphere/internal/demo"
 )
 
 func main() {
@@ -74,92 +74,11 @@ func main() {
 	}
 }
 
-// setup builds the demo federation: hive owns the bulk of the Figure 10
-// tables, spark owns a handful, and two small tables are materialized so
-// queries over them return real rows.
+// setup builds the shared demo federation (internal/demo): hive owns the
+// bulk of the Figure 10 tables, spark owns a handful, and two small tables
+// are materialized so queries over them return real rows.
 func setup() (*intellisphere.Engine, error) {
-	eng, err := intellisphere.NewEngine(intellisphere.EngineConfig{Seed: 1})
-	if err != nil {
-		return nil, err
-	}
-	hive, err := intellisphere.NewHiveSystem("hive", intellisphere.DefaultHiveCluster(), intellisphere.SystemOptions{Seed: 2})
-	if err != nil {
-		return nil, err
-	}
-	if _, _, err := eng.RegisterRemoteSubOp(hive, intellisphere.EngineHive, intellisphere.InHouseComparable); err != nil {
-		return nil, err
-	}
-	sparkCluster := intellisphere.DefaultHiveCluster()
-	sparkCluster.Name = "spark-vm"
-	spark, err := intellisphere.NewSparkSystem("spark", sparkCluster, intellisphere.SystemOptions{Seed: 3})
-	if err != nil {
-		return nil, err
-	}
-	if _, _, err := eng.RegisterRemoteSubOp(spark, intellisphere.EngineSpark, intellisphere.InHouseComparable); err != nil {
-		return nil, err
-	}
-	prestoCluster := intellisphere.DefaultHiveCluster()
-	prestoCluster.Name = "presto-vm"
-	presto, err := intellisphere.NewPrestoSystem("presto", prestoCluster, intellisphere.SystemOptions{Seed: 4})
-	if err != nil {
-		return nil, err
-	}
-	if _, _, err := eng.RegisterRemoteSubOp(presto, intellisphere.EnginePresto, intellisphere.InHouseComparable); err != nil {
-		return nil, err
-	}
-
-	// Figure 10 tables on hive, two spark-owned extras, a presto-owned
-	// warehouse, and one local dimension table on the master.
-	for _, rows := range []int64{10000, 100000, 1000000, 10000000, 80000000} {
-		for _, size := range []int{100, 250, 1000} {
-			tb, err := datagen.Table(rows, size, "hive")
-			if err != nil {
-				return nil, err
-			}
-			if err := eng.RegisterTable(tb); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, spec := range []struct {
-		rows int64
-		size int
-		name string
-	}{
-		{2000000, 100, "events"},
-		{200000, 100, "users"},
-	} {
-		tb, err := datagen.Table(spec.rows, spec.size, "spark")
-		if err != nil {
-			return nil, err
-		}
-		tb.Name = spec.name
-		if err := eng.RegisterTable(tb); err != nil {
-			return nil, err
-		}
-	}
-	warehouse, err := datagen.Table(5000000, 250, "presto")
-	if err != nil {
-		return nil, err
-	}
-	warehouse.Name = "warehouse"
-	if err := eng.RegisterTable(warehouse); err != nil {
-		return nil, err
-	}
-	local, err := datagen.Table(50000, 100, "")
-	if err != nil {
-		return nil, err
-	}
-	local.Name = "dim_local"
-	if err := eng.RegisterTable(local); err != nil {
-		return nil, err
-	}
-	for _, name := range []string{"t10000_100", "t100000_100"} {
-		if err := eng.Materialize(name); err != nil {
-			return nil, err
-		}
-	}
-	return eng, nil
+	return demo.Build(demo.Config{Seed: 1})
 }
 
 func runLine(eng *intellisphere.Engine, line string) error {

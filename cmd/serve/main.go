@@ -1,0 +1,87 @@
+// Command serve runs the demo federation behind an HTTP/JSON API: the same
+// three simulated remotes and Figure 10 tables as cmd/intellisphere, but
+// served concurrently to many clients with a plan cache in front of the
+// optimizer.
+//
+// Usage:
+//
+//	serve -addr :8080
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT ..."}   plan + execute
+//	POST /explain  {"sql": "SELECT ..."}   plan only
+//	GET  /query?q=SELECT+...               curl-friendly form of the above
+//	GET  /profiles                         registered systems and estimators
+//	GET  /metrics                          QPS, latency, cache hit rate
+//
+// SIGINT/SIGTERM drain in-flight requests and flush pending estimator
+// feedback before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"intellisphere/internal/demo"
+	"intellisphere/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 1, "simulator noise seed")
+	workers := flag.Int("workers", 0, "worker bound for training and candidate costing (0 = process default)")
+	cacheSize := flag.Int("cache-size", 0, "plan cache capacity (0 = default 256, negative disables)")
+	flag.Parse()
+
+	log.Printf("building demo federation (seed %d)...", *seed)
+	eng, err := demo.Build(demo.Config{Seed: *seed, Workers: *workers, PlanCacheSize: *cacheSize})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng).Handler(*timeout),
+		ReadHeaderTimeout: 10 * time.Second,
+		// The timeout handler bounds the work; give writes a little slack
+		// beyond it so timeout responses still reach the client.
+		WriteTimeout: *timeout + 5*time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		eng.FlushFeedback()
+		log.Print("bye")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
+}

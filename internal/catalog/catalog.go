@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ColType enumerates the column types the synthetic workloads use.
@@ -169,10 +170,13 @@ func (t *Table) NDV(column string) (float64, error) {
 	return ndv, nil
 }
 
-// Catalog is a thread-safe table registry.
+// Catalog is a thread-safe table registry. Every mutation bumps a
+// generation counter so derived state (the optimizer's plan cache) can
+// detect staleness cheaply.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	gen    atomic.Uint64
 }
 
 // New returns an empty catalog.
@@ -191,8 +195,13 @@ func (c *Catalog) Register(t *Table) error {
 		return fmt.Errorf("catalog: table %q already registered", t.Name)
 	}
 	c.tables[t.Name] = t
+	c.gen.Add(1)
 	return nil
 }
+
+// Generation returns the mutation counter: it advances on every Register
+// and Drop, never decreases, and is safe to read concurrently.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
 
 // Lookup finds a table by name.
 func (c *Catalog) Lookup(name string) (*Table, error) {
@@ -213,6 +222,7 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("catalog: unknown table %q", name)
 	}
 	delete(c.tables, name)
+	c.gen.Add(1)
 	return nil
 }
 

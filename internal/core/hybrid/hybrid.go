@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"intellisphere/internal/core"
 	"intellisphere/internal/core/logicalop"
@@ -91,11 +92,13 @@ type Estimator struct {
 	sub     *subop.Estimator
 	logical *logicalop.Estimator
 	queries int
+	gen     atomic.Uint64
 }
 
 var (
 	_ core.Estimator = (*Estimator)(nil)
 	_ core.Feedback  = (*Estimator)(nil)
+	_ core.Versioned = (*Estimator)(nil)
 )
 
 // NewEstimator validates the profile and builds the routing estimator.
@@ -155,7 +158,18 @@ func (e *Estimator) InstallLogicalModels(join, agg, scan *logicalop.Model) {
 		Agg:  e.profile.LogicalAgg,
 		Scan: e.profile.LogicalScan,
 	}
+	e.gen.Add(1)
 }
+
+// Generation implements core.Versioned: it advances whenever the estimator's
+// predictions may have changed (model installs, approach switches, offline
+// tuning signalled through BumpGeneration).
+func (e *Estimator) Generation() uint64 { return e.gen.Load() }
+
+// BumpGeneration advances the generation counter. The engine calls it after
+// mutating the profile's models in place (offline tuning), which the
+// estimator cannot observe itself.
+func (e *Estimator) BumpGeneration() { e.gen.Add(1) }
 
 // Switch forces the active approach (updating the profile so the change
 // persists with it).
@@ -175,6 +189,7 @@ func (e *Estimator) Switch(a core.Approach) error {
 		return fmt.Errorf("hybrid: cannot switch to approach %q", a)
 	}
 	e.profile.Active = a
+	e.gen.Add(1)
 	return nil
 }
 
@@ -187,6 +202,7 @@ func (e *Estimator) route(kind string) (core.Estimator, error) {
 	if e.profile.SwitchAfter > 0 && e.profile.Active == core.SubOp &&
 		e.queries > e.profile.SwitchAfter && e.logical != nil {
 		e.profile.Active = core.LogicalOp
+		e.gen.Add(1)
 	}
 	want := e.profile.Active
 	if over, ok := e.profile.PerOperator[kind]; ok {

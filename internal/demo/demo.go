@@ -1,0 +1,116 @@
+// Package demo stands up the demo federation shared by the interactive
+// shell (cmd/intellisphere) and the HTTP server (cmd/serve): a master engine
+// with three simulated remote systems (Hive-like, Spark-like, and
+// Presto-like clusters), the Figure 10 synthetic tables spread across them,
+// sub-op-trained cost models, and two small materialized tables so queries
+// over them return real rows.
+package demo
+
+import (
+	"intellisphere/internal/cluster"
+	"intellisphere/internal/core/subop"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/engine"
+	"intellisphere/internal/remote"
+)
+
+// Config tunes the demo federation.
+type Config struct {
+	// Seed drives every simulator's noise (remotes derive their own seeds
+	// from it deterministically). Zero selects 1.
+	Seed int64
+	// Workers and PlanCacheSize pass through to the engine configuration.
+	Workers       int
+	PlanCacheSize int
+}
+
+// Build constructs the demo federation: hive owns the bulk of the Figure 10
+// tables, spark owns a handful, presto one warehouse, the master one local
+// dimension table, and two small hive tables are materialized.
+func Build(cfg Config) (*engine.Engine, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	eng, err := engine.New(engine.Config{
+		Seed: cfg.Seed, Workers: cfg.Workers, PlanCacheSize: cfg.PlanCacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hive, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(hive, remote.EngineHive, subop.InHouseComparable); err != nil {
+		return nil, err
+	}
+	sparkCluster := cluster.DefaultHive()
+	sparkCluster.Name = "spark-vm"
+	spark, err := remote.NewSpark("spark", sparkCluster, remote.Options{Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(spark, remote.EngineSpark, subop.InHouseComparable); err != nil {
+		return nil, err
+	}
+	prestoCluster := cluster.DefaultHive()
+	prestoCluster.Name = "presto-vm"
+	presto, err := remote.NewPresto("presto", prestoCluster, remote.Options{Seed: cfg.Seed + 3})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.RegisterRemoteSubOp(presto, remote.EnginePresto, subop.InHouseComparable); err != nil {
+		return nil, err
+	}
+
+	for _, rows := range []int64{10000, 100000, 1000000, 10000000, 80000000} {
+		for _, size := range []int{100, 250, 1000} {
+			tb, err := datagen.Table(rows, size, "hive")
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.RegisterTable(tb); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, spec := range []struct {
+		rows int64
+		size int
+		name string
+	}{
+		{2000000, 100, "events"},
+		{200000, 100, "users"},
+	} {
+		tb, err := datagen.Table(spec.rows, spec.size, "spark")
+		if err != nil {
+			return nil, err
+		}
+		tb.Name = spec.name
+		if err := eng.RegisterTable(tb); err != nil {
+			return nil, err
+		}
+	}
+	warehouse, err := datagen.Table(5000000, 250, "presto")
+	if err != nil {
+		return nil, err
+	}
+	warehouse.Name = "warehouse"
+	if err := eng.RegisterTable(warehouse); err != nil {
+		return nil, err
+	}
+	local, err := datagen.Table(50000, 100, "")
+	if err != nil {
+		return nil, err
+	}
+	local.Name = "dim_local"
+	if err := eng.RegisterTable(local); err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"t10000_100", "t100000_100"} {
+		if err := eng.Materialize(name); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}

@@ -11,8 +11,7 @@ package engine
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"time"
 
 	"intellisphere/internal/catalog"
 	"intellisphere/internal/cluster"
@@ -20,11 +19,12 @@ import (
 	"intellisphere/internal/core/hybrid"
 	"intellisphere/internal/core/logicalop"
 	"intellisphere/internal/core/subop"
+	"intellisphere/internal/metrics"
 	"intellisphere/internal/nn"
 	"intellisphere/internal/optimizer"
-	"intellisphere/internal/parallel"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/querygrid"
+	"intellisphere/internal/registry"
 	"intellisphere/internal/remote"
 	"intellisphere/internal/rowengine"
 	"intellisphere/internal/sqlparse"
@@ -40,23 +40,39 @@ type Config struct {
 	Link querygrid.LinkConfig
 	// Seed drives the master's own simulator noise.
 	Seed int64
-	// Workers bounds the process-wide worker pool used for parallel training
-	// and candidate costing. 0 keeps the current setting (GOMAXPROCS by
-	// default, or the INTELLISPHERE_WORKERS environment variable); 1 forces
-	// serial execution. All results are identical at any worker count.
+	// Workers bounds this engine's worker fan-out for parallel training and
+	// candidate costing. 0 uses the process default (GOMAXPROCS, or the
+	// INTELLISPHERE_WORKERS environment variable); 1 forces serial execution.
+	// The setting is scoped to the engine — two engines with different
+	// Workers never affect each other. All results are identical at any
+	// worker count.
 	Workers int
+	// PlanCacheSize bounds the optimizer's LRU plan cache. 0 selects the
+	// default (256 entries); negative disables caching entirely.
+	PlanCacheSize int
 }
 
-// Engine is the master engine.
+// Engine is the master engine. The remote-system, estimator, and
+// materialized-table registries are read-mostly copy-on-write maps, so the
+// serving path (Query/Explain from many goroutines) never takes a lock to
+// look one up; registration and materialization are the only writers.
 type Engine struct {
-	mu           sync.Mutex
 	cat          *catalog.Catalog
 	grid         *querygrid.Grid
 	master       remote.System
-	remotes      map[string]remote.System
-	estimators   map[string]core.Estimator
-	materialized map[string]*rowengine.Table
+	remotes      *registry.Map[remote.System]
+	estimators   *registry.Map[core.Estimator]
+	materialized *registry.Map[*rowengine.Table]
 	opt          *optimizer.Optimizer
+	fb           *feedbackBatcher
+	stmts        *stmtCache // nil when caching is disabled
+	workers      int
+
+	queries     metrics.Counter
+	queryErrors metrics.Counter
+	parseHist   *metrics.Histogram
+	planHist    *metrics.Histogram
+	executeHist *metrics.Histogram
 }
 
 // New builds a master engine, spins up its own execution simulator, and
@@ -72,8 +88,8 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Link.BandwidthBytesPerSec == 0 {
 		cfg.Link = querygrid.DefaultLink()
 	}
-	if cfg.Workers > 0 {
-		parallel.SetWorkers(cfg.Workers)
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
 	}
 	master, err := remote.NewRDBMS(querygrid.Master, cfg.Master, remote.Options{Seed: cfg.Seed, NoiseAmp: 0.02})
 	if err != nil {
@@ -87,10 +103,16 @@ func New(cfg Config) (*Engine, error) {
 		cat:          catalog.New(),
 		grid:         grid,
 		master:       master,
-		remotes:      map[string]remote.System{querygrid.Master: master},
-		estimators:   map[string]core.Estimator{},
-		materialized: map[string]*rowengine.Table{},
+		remotes:      registry.New[remote.System](),
+		estimators:   registry.New[core.Estimator](),
+		materialized: registry.New[*rowengine.Table](),
+		fb:           newFeedbackBatcher(),
+		workers:      cfg.Workers,
+		parseHist:    metrics.NewLatencyHistogram(),
+		planHist:     metrics.NewLatencyHistogram(),
+		executeHist:  metrics.NewLatencyHistogram(),
 	}
+	e.remotes.Set(querygrid.Master, master)
 	ms, _, err := subop.Train(master, subop.TrainConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("engine: calibrate master cost model: %w", err)
@@ -99,9 +121,52 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.estimators[querygrid.Master] = selfEst
-	e.opt = &optimizer.Optimizer{Catalog: e.cat, Grid: e.grid, Estimators: e.estimators}
+	e.estimators.Set(querygrid.Master, selfEst)
+	var cache *optimizer.PlanCache
+	if cfg.PlanCacheSize >= 0 {
+		cache = optimizer.NewPlanCache(cfg.PlanCacheSize)
+		e.stmts = newStmtCache(2 * cfg.PlanCacheSize)
+	}
+	e.opt = &optimizer.Optimizer{
+		Catalog: e.cat, Grid: e.grid, Estimators: e.estimators,
+		Workers: cfg.Workers, Cache: cache,
+	}
 	return e, nil
+}
+
+// PlanCacheStats reports the plan cache's effectiveness counters (zero-value
+// stats when caching is disabled).
+func (e *Engine) PlanCacheStats() optimizer.CacheStats {
+	if e.opt.Cache == nil {
+		return optimizer.CacheStats{}
+	}
+	return e.opt.Cache.Stats()
+}
+
+// Stats is a point-in-time snapshot of serving health: query counts, the
+// per-stage latency histograms (wall clock of the serving process, not
+// simulated time), plan-cache effectiveness, and the feedback backlog.
+type Stats struct {
+	Queries         uint64                    `json:"queries"`
+	QueryErrors     uint64                    `json:"query_errors"`
+	Parse           metrics.HistogramSnapshot `json:"parse"`
+	Plan            metrics.HistogramSnapshot `json:"plan"`
+	Execute         metrics.HistogramSnapshot `json:"execute"`
+	PlanCache       optimizer.CacheStats      `json:"plan_cache"`
+	FeedbackBacklog int                       `json:"feedback_backlog"`
+}
+
+// Stats snapshots the engine's serving metrics.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:         e.queries.Value(),
+		QueryErrors:     e.queryErrors.Value(),
+		Parse:           e.parseHist.Snapshot(),
+		Plan:            e.planHist.Snapshot(),
+		Execute:         e.executeHist.Snapshot(),
+		PlanCache:       e.PlanCacheStats(),
+		FeedbackBacklog: e.FeedbackBacklog(),
+	}
 }
 
 // Catalog exposes the engine's catalog.
@@ -110,22 +175,19 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // Grid exposes the QueryGrid model.
 func (e *Engine) Grid() *querygrid.Grid { return e.grid }
 
-// Remote returns a registered remote system.
+// Remote returns a registered remote system. The lookup is lock-free.
 func (e *Engine) Remote(name string) (remote.System, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	sys, ok := e.remotes[name]
+	sys, ok := e.remotes.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown remote system %q", name)
 	}
 	return sys, nil
 }
 
-// Estimator returns the cost estimator registered for a system.
+// Estimator returns the cost estimator registered for a system. The lookup
+// is lock-free.
 func (e *Engine) Estimator(name string) (core.Estimator, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	est, ok := e.estimators[name]
+	est, ok := e.estimators.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("engine: no estimator for system %q", name)
 	}
@@ -133,16 +195,7 @@ func (e *Engine) Estimator(name string) (core.Estimator, error) {
 }
 
 // Systems lists registered system names (master included), sorted.
-func (e *Engine) Systems() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]string, 0, len(e.remotes))
-	for name := range e.remotes {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (e *Engine) Systems() []string { return e.remotes.Names() }
 
 // RegisterRemote adds a remote system with an already built estimator
 // (typically a hybrid.Estimator wrapping its costing profile).
@@ -154,13 +207,10 @@ func (e *Engine) RegisterRemote(sys remote.System, est core.Estimator) error {
 	if name == querygrid.Master {
 		return fmt.Errorf("engine: %q is reserved for the master", name)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.remotes[name]; dup {
+	if !e.remotes.SetIfAbsent(name, sys) {
 		return fmt.Errorf("engine: remote %q already registered", name)
 	}
-	e.remotes[name] = sys
-	e.estimators[name] = est
+	e.estimators.Set(name, est)
 	return nil
 }
 
@@ -208,6 +258,15 @@ type LogicalTrainReport struct {
 	JoinResult, AggResult, ScanResult       *nn.TrainResult
 }
 
+// scopeWorkers defaults a training config's worker bound to the engine's own
+// setting, so Config.Workers governs training fan-out without touching the
+// process-wide pool. An explicit per-config Workers wins.
+func (e *Engine) scopeWorkers(cfg *logicalop.Config) {
+	if cfg.NN.Train.Workers == 0 {
+		cfg.NN.Train.Workers = e.workers
+	}
+}
+
 // RegisterRemoteLogicalOp registers a blackbox remote: it generates the
 // Figure 10 training workloads over the system's registered tables,
 // executes them on the remote (expensive — this is the paper's point),
@@ -226,7 +285,7 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 	if err != nil {
 		return nil, nil, err
 	}
-	aggRun, err := workload.RunAggSet(sys, aggQs)
+	aggRun, err := workload.RunAggSetN(e.workers, sys, aggQs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -236,6 +295,7 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 	if aggCfg.NN.Network.InputDim == 0 {
 		aggCfg = logicalop.DefaultConfig(4, opts.Seed+1)
 	}
+	e.scopeWorkers(&aggCfg)
 	aggModel, aggRes, err := logicalop.Train("aggregation", plan.AggDimNames(), aggRun.X, aggRun.Y, aggCfg)
 	if err != nil {
 		return nil, nil, err
@@ -246,7 +306,7 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 	if err != nil {
 		return nil, nil, err
 	}
-	joinRun, err := workload.RunJoinSet(sys, joinQs)
+	joinRun, err := workload.RunJoinSetN(e.workers, sys, joinQs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -256,6 +316,7 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 	if joinCfg.NN.Network.InputDim == 0 {
 		joinCfg = logicalop.DefaultConfig(7, opts.Seed+2)
 	}
+	e.scopeWorkers(&joinCfg)
 	joinModel, joinRes, err := logicalop.Train("join", plan.JoinDimNames(), joinRun.X, joinRun.Y, joinCfg)
 	if err != nil {
 		return nil, nil, err
@@ -272,7 +333,7 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 		if err != nil {
 			return nil, nil, err
 		}
-		scanRun, err := workload.RunScanSet(sys, scanQs)
+		scanRun, err := workload.RunScanSetN(e.workers, sys, scanQs)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -282,6 +343,7 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 		if scanCfg.NN.Network.InputDim == 0 {
 			scanCfg = logicalop.DefaultConfig(4, opts.Seed+3)
 		}
+		e.scopeWorkers(&scanCfg)
 		scanModel, scanRes, err := logicalop.Train("scan", logicalop.ScanDimNames(), scanRun.X, scanRun.Y, scanCfg)
 		if err != nil {
 			return nil, nil, err
@@ -303,10 +365,7 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 // tables must name a registered remote system.
 func (e *Engine) RegisterTable(t *catalog.Table) error {
 	if t.System != "" {
-		e.mu.Lock()
-		_, ok := e.remotes[t.System]
-		e.mu.Unlock()
-		if !ok {
+		if _, ok := e.remotes.Get(t.System); !ok {
 			return fmt.Errorf("engine: table %q references unregistered system %q", t.Name, t.System)
 		}
 	}
@@ -324,9 +383,7 @@ func (e *Engine) Materialize(name string) error {
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.materialized[name] = tb
+	e.materialized.Set(name, tb)
 	return nil
 }
 
@@ -343,29 +400,70 @@ type QueryResult struct {
 	Rows *rowengine.Result
 }
 
-// Explain plans a query and renders the plan without executing it.
+// Explain plans a query and renders the plan without executing it. Repeated
+// identical statements hit the plan cache and render byte-identical output.
 func (e *Engine) Explain(sql string) (string, error) {
-	stmt, err := sqlparse.Parse(sql)
+	stmt, err := e.parse(sql)
 	if err != nil {
 		return "", err
 	}
-	p, err := e.opt.Plan(stmt)
+	p, err := e.plan(stmt)
 	if err != nil {
 		return "", err
 	}
 	return p.Explain(), nil
 }
 
-// Query plans and executes a SQL statement across the federation.
-func (e *Engine) Query(sql string) (*QueryResult, error) {
+// parse times statement parsing into the parse-stage histogram. Parsed
+// statements are immutable downstream, so repeats of the same text are
+// served from the statement LRU.
+func (e *Engine) parse(sql string) (*sqlparse.SelectStmt, error) {
+	start := time.Now()
+	defer func() { e.parseHist.Observe(time.Since(start)) }()
+	if e.stmts != nil {
+		if stmt, ok := e.stmts.get(sql); ok {
+			return stmt, nil
+		}
+	}
 	stmt, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
+	if err == nil && e.stmts != nil {
+		e.stmts.put(sql, stmt)
 	}
+	return stmt, err
+}
+
+// plan times planning (cache hits included) into the plan-stage histogram.
+func (e *Engine) plan(stmt *sqlparse.SelectStmt) (*optimizer.Plan, error) {
+	start := time.Now()
 	p, err := e.opt.Plan(stmt)
+	e.planHist.Observe(time.Since(start))
+	return p, err
+}
+
+// Query plans and executes a SQL statement across the federation. It is safe
+// for concurrent use: plans come from the (lock-free-read) optimizer, step
+// execution only reads registry snapshots, and estimator feedback is queued
+// to the batcher rather than applied inline.
+func (e *Engine) Query(sql string) (*QueryResult, error) {
+	e.queries.Inc()
+	res, err := e.query(sql)
+	if err != nil {
+		e.queryErrors.Inc()
+	}
+	return res, err
+}
+
+func (e *Engine) query(sql string) (*QueryResult, error) {
+	stmt, err := e.parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	p, err := e.plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	execStart := time.Now()
+	defer func() { e.executeHist.Observe(time.Since(execStart)) }()
 	res := &QueryResult{Plan: p}
 	for _, step := range p.Steps {
 		actual, err := e.executeStep(step)
@@ -386,18 +484,16 @@ func (e *Engine) Query(sql string) (*QueryResult, error) {
 	return res, nil
 }
 
-// executeStep runs one plan step on the simulators and feeds the actual
-// cost back to the estimator (the logging phase of Figure 3).
+// executeStep runs one plan step on the simulators and queues the actual
+// cost for delivery to the estimator (the logging phase of Figure 3).
 func (e *Engine) executeStep(step optimizer.Step) (float64, error) {
 	if step.Kind == "transfer" {
 		// Network behaviour is learned elsewhere (Section 2's scope); the
 		// grid estimate doubles as the simulated actual.
 		return step.EstimatedSec, nil
 	}
-	e.mu.Lock()
-	sys, ok := e.remotes[step.System]
-	est := e.estimators[step.System]
-	e.mu.Unlock()
+	sys, ok := e.remotes.Get(step.System)
+	est, _ := e.estimators.Get(step.System)
 	if !ok {
 		return 0, fmt.Errorf("engine: plan step targets unknown system %q", step.System)
 	}
@@ -428,14 +524,16 @@ func (e *Engine) executeStep(step optimizer.Step) (float64, error) {
 		return 0, fmt.Errorf("engine: execute %s on %q: %w", step.Kind, step.System, err)
 	}
 	if fb, ok := est.(core.Feedback); ok {
+		it := feedbackItem{est: fb, kind: step.Kind, actualSec: ex.ElapsedSec}
 		switch step.Kind {
 		case "join":
-			fb.ObserveJoin(*step.Join, ex.ElapsedSec)
+			it.join = *step.Join
 		case "aggregation":
-			fb.ObserveAgg(*step.Agg, ex.ElapsedSec)
+			it.agg = *step.Agg
 		case "scan":
-			fb.ObserveScan(*step.Scan, ex.ElapsedSec)
+			it.scan = *step.Scan
 		}
+		e.fb.enqueue(it)
 	}
 	return ex.ElapsedSec, nil
 }
@@ -443,15 +541,13 @@ func (e *Engine) executeStep(step optimizer.Step) (float64, error) {
 // materializedFor collects the materialized tables a statement references;
 // ok is false if any is missing.
 func (e *Engine) materializedFor(stmt *sqlparse.SelectStmt) (map[string]*rowengine.Table, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	names := []string{stmt.From.Name}
 	for i := range stmt.Joins {
 		names = append(names, stmt.Joins[i].Table.Name)
 	}
 	out := map[string]*rowengine.Table{}
 	for _, n := range names {
-		t, ok := e.materialized[n]
+		t, ok := e.materialized.Get(n)
 		if !ok {
 			return nil, false
 		}

@@ -305,6 +305,7 @@ func TestFeedbackReachesLogicalModels(t *testing.T) {
 	if _, err := e.Query("SELECT a10, SUM(a1) FROM t80000000_500 GROUP BY a10"); err != nil {
 		t.Fatal(err)
 	}
+	e.FlushFeedback()
 	if prof.LogicalAgg.PendingLog() <= before {
 		t.Error("execution feedback did not reach the logical model's log")
 	}
@@ -443,10 +444,13 @@ func TestTuneSystem(t *testing.T) {
 	if rep.JoinTuned || rep.AggTuned {
 		t.Errorf("tuning without logs reported work: %+v", rep)
 	}
-	// Execute a remote query to populate the log, then tune.
+	// Execute a remote query to populate the log, then tune. TuneSystem
+	// flushes the async feedback queue itself, so no explicit flush is
+	// needed before it; flush here only to assert the log filled.
 	if _, err := e.Query("SELECT a10, SUM(a1) FROM t80000000_500 GROUP BY a10"); err != nil {
 		t.Fatal(err)
 	}
+	e.FlushFeedback()
 	if est.Profile().LogicalAgg.PendingLog() == 0 {
 		t.Fatal("no pending log after query")
 	}
@@ -456,6 +460,12 @@ func TestTuneSystem(t *testing.T) {
 	}
 	if !rep.AggTuned {
 		t.Errorf("aggregation model not tuned: %+v", rep)
+	}
+	if rep.AggAlpha <= 0 || rep.AggAlpha > 1 {
+		t.Errorf("AggAlpha = %v, want a refit value in (0, 1]", rep.AggAlpha)
+	}
+	if rep.JoinAlpha != 0 || rep.ScanAlpha != 0 {
+		t.Errorf("untuned models reported α: %+v", rep)
 	}
 	if est.Profile().LogicalAgg.PendingLog() != 0 {
 		t.Error("log not consumed by tuning")

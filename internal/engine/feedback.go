@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"sync"
+
+	"intellisphere/internal/core"
+	"intellisphere/internal/plan"
+)
+
+// feedbackItem is one executed operator awaiting delivery to its estimator's
+// feedback interface (the logging phase of Figure 3). Exactly one of
+// join/agg/scan is set, matching kind.
+type feedbackItem struct {
+	est       core.Feedback
+	kind      string
+	join      plan.JoinSpec
+	agg       plan.AggSpec
+	scan      plan.ScanSpec
+	actualSec float64
+}
+
+func (it *feedbackItem) apply() {
+	switch it.kind {
+	case "join":
+		it.est.ObserveJoin(it.join, it.actualSec)
+	case "aggregation":
+		it.est.ObserveAgg(it.agg, it.actualSec)
+	case "scan":
+		it.est.ObserveScan(it.scan, it.actualSec)
+	}
+}
+
+// feedbackBatcher decouples query execution from estimator feedback.
+// Observe* on a logical-op model re-runs the (potentially expensive) remedy
+// estimate under the model's mutex; doing that inline would serialize every
+// hot query on the same lock. Instead executeStep enqueues a record under a
+// cheap batcher mutex and returns; a single drainer goroutine — started
+// lazily, exiting when the queue empties — applies batches in arrival order,
+// so model mutations never contend with more than one writer.
+type feedbackBatcher struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []feedbackItem
+	inflight int  // items handed to the drainer but not yet applied
+	draining bool // a drainer goroutine is active
+}
+
+func newFeedbackBatcher() *feedbackBatcher {
+	b := &feedbackBatcher{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// enqueue appends an item and ensures a drainer is running.
+func (b *feedbackBatcher) enqueue(it feedbackItem) {
+	b.mu.Lock()
+	b.queue = append(b.queue, it)
+	start := !b.draining
+	b.draining = true
+	b.mu.Unlock()
+	if start {
+		go b.drain()
+	}
+}
+
+// drain applies queued batches until the queue stays empty.
+func (b *feedbackBatcher) drain() {
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.draining = false
+			b.cond.Broadcast()
+			b.mu.Unlock()
+			return
+		}
+		batch := b.queue
+		b.queue = nil
+		b.inflight = len(batch)
+		b.mu.Unlock()
+
+		for i := range batch {
+			batch[i].apply()
+			b.mu.Lock()
+			b.inflight--
+			b.mu.Unlock()
+		}
+	}
+}
+
+// flush blocks until every enqueued item has been applied.
+func (b *feedbackBatcher) flush() {
+	b.mu.Lock()
+	for b.draining || len(b.queue) > 0 || b.inflight > 0 {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// backlog reports the number of observations not yet applied.
+func (b *feedbackBatcher) backlog() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue) + b.inflight
+}
+
+// FlushFeedback blocks until every logged execution produced by completed
+// Query calls has reached its estimator. Offline tuning calls it implicitly;
+// tests and shutdown paths call it to make feedback effects observable
+// deterministically.
+func (e *Engine) FlushFeedback() { e.fb.flush() }
+
+// FeedbackBacklog reports how many executed-operator observations are still
+// queued for delivery to estimators (a serving-health metric: a growing
+// backlog means feedback is falling behind execution).
+func (e *Engine) FeedbackBacklog() int { return e.fb.backlog() }

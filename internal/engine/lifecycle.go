@@ -81,10 +81,14 @@ func (e *Engine) CalibrateLink(system string, measure querygrid.MeasureFunc) (qu
 }
 
 // TuneReport summarizes one offline tuning pass over a remote's logical
-// models.
+// models. Each operator model re-fits its own α, so the refit values are
+// reported per model; AlphaRecords is the total remedy-record count across
+// all models that tuned.
 type TuneReport struct {
 	JoinTuned, AggTuned, ScanTuned bool
-	Alpha                          float64
+	JoinAlpha                      float64
+	AggAlpha                       float64
+	ScanAlpha                      float64
 	AlphaRecords                   int
 }
 
@@ -102,6 +106,9 @@ func (e *Engine) TuneSystem(system string, tc nn.TrainConfig) (*TuneReport, erro
 	if !ok {
 		return nil, fmt.Errorf("engine: system %q has no tunable profile", system)
 	}
+	// Tuning consumes each model's pending log, so any feedback still queued
+	// in the batcher has to land first or the pass would silently skip it.
+	e.FlushFeedback()
 	prof := h.Profile()
 	rep := &TuneReport{}
 	tune := func(m interface {
@@ -109,31 +116,36 @@ func (e *Engine) TuneSystem(system string, tc nn.TrainConfig) (*TuneReport, erro
 		RefitAlpha() (float64, int)
 		OfflineTune(nn.TrainConfig) (*nn.TrainResult, error)
 		Alpha() float64
-	}) (bool, error) {
+	}, alpha *float64) (bool, error) {
 		if m == nil || m.PendingLog() == 0 {
 			return false, nil
 		}
 		a, n := m.RefitAlpha()
-		rep.Alpha, rep.AlphaRecords = a, rep.AlphaRecords+n
+		*alpha, rep.AlphaRecords = a, rep.AlphaRecords+n
 		if _, err := m.OfflineTune(tc); err != nil {
 			return false, err
 		}
 		return true, nil
 	}
 	if prof.LogicalJoin != nil {
-		if rep.JoinTuned, err = tune(prof.LogicalJoin); err != nil {
+		if rep.JoinTuned, err = tune(prof.LogicalJoin, &rep.JoinAlpha); err != nil {
 			return nil, fmt.Errorf("engine: tune %q join model: %w", system, err)
 		}
 	}
 	if prof.LogicalAgg != nil {
-		if rep.AggTuned, err = tune(prof.LogicalAgg); err != nil {
+		if rep.AggTuned, err = tune(prof.LogicalAgg, &rep.AggAlpha); err != nil {
 			return nil, fmt.Errorf("engine: tune %q aggregation model: %w", system, err)
 		}
 	}
 	if prof.LogicalScan != nil {
-		if rep.ScanTuned, err = tune(prof.LogicalScan); err != nil {
+		if rep.ScanTuned, err = tune(prof.LogicalScan, &rep.ScanAlpha); err != nil {
 			return nil, fmt.Errorf("engine: tune %q scan model: %w", system, err)
 		}
+	}
+	if rep.JoinTuned || rep.AggTuned || rep.ScanTuned {
+		// Offline tuning mutates the profile's models in place, so cached
+		// plans costed against the old models are stale.
+		h.BumpGeneration()
 	}
 	return rep, nil
 }

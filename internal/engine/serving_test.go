@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"intellisphere/internal/cluster"
+	"intellisphere/internal/core"
+	"intellisphere/internal/core/hybrid"
+	"intellisphere/internal/core/logicalop"
+	"intellisphere/internal/core/subop"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/nn"
+	"intellisphere/internal/remote"
+)
+
+// registerLogicalHive trains a blackbox hive remote over a small table set so
+// concurrent tests exercise the logical-op feedback and remedy paths without
+// long training runs.
+func registerLogicalHive(t *testing.T, e *Engine) *hybrid.Estimator {
+	t.Helper()
+	bb, err := remote.NewHive("hivebb", cluster.DefaultHive(), remote.Options{NoiseAmp: 0.01, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []ts{{10000, 40}, {100000, 100}, {40000, 250}, {80000000, 500}} {
+		tb, err := datagen.Table(spec.rows, spec.size, "hivebb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Catalog().Register(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := logicalop.DefaultConfig(4, 1)
+	cfg.NN.Train = nn.TrainConfig{Iterations: 100, Optimizer: nn.Adam, BatchSize: 32, Seed: 1}
+	jcfg := logicalop.DefaultConfig(7, 2)
+	jcfg.NN.Train = cfg.NN.Train
+	est, _, err := e.RegisterRemoteLogicalOp(bb, remote.EngineHive, LogicalTrainOptions{
+		JoinPairs: 4, TrainScan: true, Agg: cfg, Join: jcfg, Scan: cfg, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// TestConcurrentQueriesLogicalOpFeedback hammers Query from many goroutines
+// against a logical-op remote, driving concurrent model estimates (including
+// the out-of-range online-remedy path) and the async feedback pipeline. Run
+// under -race this is the serving-path safety check for the whole stack:
+// lock-free registry lookups, shared cached plans, batched Observe* delivery.
+func TestConcurrentQueriesLogicalOpFeedback(t *testing.T) {
+	e := newEngine(t)
+	est := registerLogicalHive(t, e)
+	// An out-of-range table (row size beyond the trained grid) forces the
+	// remedy estimate during planning.
+	big, err := datagen.Table(160000000, 1000, "hivebb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTable(big); err != nil {
+		t.Fatal(err)
+	}
+	prof := est.Profile()
+	before := prof.LogicalAgg.PendingLog()
+	queries := []string{
+		// In-range aggregation: executes on hivebb, logs feedback.
+		"SELECT a10, SUM(a1) FROM t80000000_500 GROUP BY a10",
+		// Out-of-range aggregation: the estimate goes through the remedy.
+		"SELECT a10, SUM(a1) FROM t160000000_1000 GROUP BY a10",
+		// Join across the trained tables.
+		"SELECT r.a1 FROM t80000000_500 r JOIN t100000_100 s ON r.a1 = s.a1",
+		// Filtered scan.
+		"SELECT a1 FROM t40000_250 WHERE a1 < 1000",
+	}
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds*len(queries))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, sql := range queries {
+					if _, err := e.Query(sql); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent query failed: %v", err)
+	}
+	e.FlushFeedback()
+	if got := e.FeedbackBacklog(); got != 0 {
+		t.Errorf("feedback backlog after flush = %d", got)
+	}
+	if prof.LogicalAgg.PendingLog() <= before {
+		t.Error("no feedback reached the logical aggregation model")
+	}
+	st := e.Stats()
+	want := uint64(goroutines * rounds * len(queries))
+	if st.Queries != want {
+		t.Errorf("Stats.Queries = %d, want %d", st.Queries, want)
+	}
+	if st.QueryErrors != 0 {
+		t.Errorf("Stats.QueryErrors = %d", st.QueryErrors)
+	}
+	if st.PlanCache.Hits == 0 {
+		t.Error("no plan-cache hits across identical concurrent statements")
+	}
+	if st.Plan.Count == 0 || st.Execute.Count == 0 {
+		t.Errorf("stage histograms empty: plan=%d execute=%d", st.Plan.Count, st.Execute.Count)
+	}
+}
+
+// TestPlanCacheInvalidationThroughEngine checks the generation plumbing end
+// to end: repeated statements hit, and every profile/catalog mutation the
+// issue names (RegisterTable, InstallLogicalModels, Switch) makes the next
+// lookup a miss.
+func TestPlanCacheInvalidationThroughEngine(t *testing.T) {
+	e := newEngine(t)
+	registerHive(t, e)
+	registerTables(t, e, "hive", ts{1000000, 100}, ts{100000, 100})
+	const sql = "SELECT r.a1 FROM t1000000_100 r JOIN t100000_100 s ON r.a1 = s.a1"
+
+	out1, err := e.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := e.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Error("cached Explain output not byte-identical")
+	}
+	if s := e.PlanCacheStats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after two Explains: %+v", s)
+	}
+
+	// RegisterTable bumps the catalog generation.
+	tb, err := datagen.Table(10000, 100, "hive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explain(sql); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.PlanCacheStats(); s.Stale != 1 {
+		t.Fatalf("after RegisterTable: %+v", s)
+	}
+
+	// InstallLogicalModels bumps the estimator generation (nil models leave
+	// the routing untouched but still signal a profile change).
+	est, err := e.Estimator("hive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := est.(*hybrid.Estimator)
+	if _, err := e.Explain(sql); err != nil { // warm the cache again
+		t.Fatal(err)
+	}
+	h.InstallLogicalModels(nil, nil, nil)
+	if _, err := e.Explain(sql); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.PlanCacheStats(); s.Stale != 2 {
+		t.Fatalf("after InstallLogicalModels: %+v", s)
+	}
+
+	// Switch bumps it too.
+	if _, err := e.Explain(sql); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Switch(core.SubOp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explain(sql); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.PlanCacheStats(); s.Stale != 3 {
+		t.Fatalf("after Switch: %+v", s)
+	}
+}
+
+// TestPlanCacheDisabled verifies Config.PlanCacheSize < 0 turns caching off.
+func TestPlanCacheDisabled(t *testing.T) {
+	e, err := New(Config{Seed: 9, PlanCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerHive(t, e)
+	registerTables(t, e, "hive", ts{100000, 100})
+	for i := 0; i < 2; i++ {
+		if _, err := e.Explain("SELECT a1 FROM t100000_100"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.PlanCacheStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("disabled cache recorded traffic: %+v", s)
+	}
+}
+
+// BenchmarkExplain measures the plan-cache speedup on repeated identical
+// statements: "cold" replans every time (cache disabled), "cached" hits the
+// LRU. The issue's acceptance bar is a ≥10× gap.
+func BenchmarkExplain(b *testing.B) {
+	build := func(b *testing.B, cacheSize int) *Engine {
+		b.Helper()
+		e, err := New(Config{Seed: 9, PlanCacheSize: cacheSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{NoiseAmp: 0.01, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := e.RegisterRemoteSubOp(h, remote.EngineHive, subop.InHouseComparable); err != nil {
+			b.Fatal(err)
+		}
+		for _, spec := range []ts{{1000000, 100}, {100000, 100}, {10000000, 250}} {
+			tb, err := datagen.Table(spec.rows, spec.size, "hive")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.RegisterTable(tb); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return e
+	}
+	const sql = "SELECT r.a1 FROM t10000000_250 r JOIN t100000_100 s ON r.a1 = s.a1 JOIN t1000000_100 u ON s.a1 = u.a1 WHERE r.a1 < 500000 ORDER BY r.a1 LIMIT 10"
+	b.Run("cold", func(b *testing.B) {
+		e := build(b, -1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Explain(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := build(b, 0)
+		if _, err := e.Explain(sql); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Explain(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"intellisphere/internal/sqlparse"
+)
+
+// stmtCache is an LRU of parsed statements keyed by the raw SQL text.
+// Parsing is pure (the result depends only on the text) and parsed
+// statements are read-only downstream, so entries never go stale — unlike
+// plans, no generation tracking is needed. It removes the parse cost from
+// the repeated-statement serving path, leaving a plan-cache hit as a pair
+// of map lookups.
+type stmtCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	entries map[string]*list.Element
+}
+
+type stmtEntry struct {
+	sql  string
+	stmt *sqlparse.SelectStmt
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &stmtCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *stmtCache) get(sql string) (*sqlparse.SelectStmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[sql]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*stmtEntry).stmt, true
+}
+
+func (c *stmtCache) put(sql string, stmt *sqlparse.SelectStmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[sql]; ok {
+		el.Value.(*stmtEntry).stmt = stmt
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[sql] = c.ll.PushFront(&stmtEntry{sql: sql, stmt: stmt})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*stmtEntry).sql)
+	}
+}

@@ -1,0 +1,177 @@
+// Package metrics provides the lightweight instrumentation primitives the
+// serving layer exports on /metrics: lock-free counters, fixed-bucket
+// exponential latency histograms, and a sliding-window rate meter for QPS.
+// Everything is safe for concurrent use and allocation-free on the hot
+// (Observe/Inc) paths.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram accumulates duration observations into exponential buckets. The
+// zero value is not usable; call NewLatencyHistogram.
+type Histogram struct {
+	bounds   []float64 // upper bound (seconds) per bucket, ascending
+	counts   []atomic.Uint64
+	overflow atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Uint64
+}
+
+// NewLatencyHistogram builds a histogram with exponential bounds from 50 µs
+// to ~100 s (factor 2 per bucket), suiting both sub-millisecond cache hits
+// and multi-second cold plans.
+func NewLatencyHistogram() *Histogram {
+	var bounds []float64
+	for b := 50e-6; b < 110; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	if sec < 0 {
+		sec = 0
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(uint64(d.Nanoseconds()))
+	for i, b := range h.bounds {
+		if sec <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.overflow.Add(1)
+}
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	UpperBoundSec float64 `json:"le"`
+	Count         uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram with
+// pre-computed quantile estimates.
+type HistogramSnapshot struct {
+	Count      uint64   `json:"count"`
+	SumSeconds float64  `json:"sum_seconds"`
+	MeanSec    float64  `json:"mean_sec"`
+	P50Sec     float64  `json:"p50_sec"`
+	P95Sec     float64  `json:"p95_sec"`
+	P99Sec     float64  `json:"p99_sec"`
+	Buckets    []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram. Quantiles are upper-bound estimates from
+// the bucket layout (each quantile reports the bound of the bucket that
+// contains it).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	s.SumSeconds = float64(h.sumNanos.Load()) / 1e9
+	if s.Count > 0 {
+		s.MeanSec = s.SumSeconds / float64(s.Count)
+	}
+	counts := make([]uint64, len(h.bounds))
+	var total uint64
+	for i := range h.bounds {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	over := h.overflow.Load()
+	total += over
+	for i, b := range h.bounds {
+		if c := counts[i]; c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBoundSec: b, Count: c})
+		}
+	}
+	if over > 0 {
+		s.Buckets = append(s.Buckets, Bucket{UpperBoundSec: math.Inf(1), Count: over})
+	}
+	if total == 0 {
+		return s
+	}
+	quantile := func(q float64) float64 {
+		target := uint64(math.Ceil(q * float64(total)))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				return h.bounds[i]
+			}
+		}
+		return math.Inf(1)
+	}
+	s.P50Sec = quantile(0.50)
+	s.P95Sec = quantile(0.95)
+	s.P99Sec = quantile(0.99)
+	return s
+}
+
+// rateWindow is the sliding window width of a RateMeter.
+const rateWindow = 60
+
+// RateMeter tracks events per second over a sliding 60-second window (the
+// /metrics QPS figure). It keeps one slot per second and expires slots
+// lazily as time advances.
+type RateMeter struct {
+	mu    sync.Mutex
+	slots [rateWindow]uint64
+	// stamp[i] is the unix second slots[i] last counted for; a slot whose
+	// stamp is outside the window holds stale data and reads as zero.
+	stamp [rateWindow]int64
+	now   func() time.Time // injectable clock for tests
+}
+
+// NewRateMeter builds a meter using the wall clock.
+func NewRateMeter() *RateMeter { return &RateMeter{now: time.Now} }
+
+// Tick records one event.
+func (r *RateMeter) Tick() {
+	sec := r.now().Unix()
+	i := int(sec % rateWindow)
+	r.mu.Lock()
+	if r.stamp[i] != sec {
+		r.stamp[i] = sec
+		r.slots[i] = 0
+	}
+	r.slots[i]++
+	r.mu.Unlock()
+}
+
+// Rate returns events/second averaged over the window, counting only slots
+// that belong to the last rateWindow seconds.
+func (r *RateMeter) Rate() float64 {
+	sec := r.now().Unix()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for i := range r.slots {
+		if sec-r.stamp[i] < rateWindow {
+			total += r.slots[i]
+		}
+	}
+	return float64(total) / rateWindow
+}

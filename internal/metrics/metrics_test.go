@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if c.Value() != 8005 {
+		t.Errorf("Counter = %d, want 8005", c.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	// 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(2 * time.Second)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50Sec > 0.001 {
+		t.Errorf("p50 = %v, want sub-millisecond", s.P50Sec)
+	}
+	if s.P95Sec < 1 || s.P99Sec < 1 {
+		t.Errorf("p95/p99 = %v/%v, want seconds-scale", s.P95Sec, s.P99Sec)
+	}
+	if s.MeanSec <= 0 || s.SumSeconds < 20 {
+		t.Errorf("mean/sum = %v/%v", s.MeanSec, s.SumSeconds)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != 100 {
+		t.Errorf("bucket counts sum to %d", bucketTotal)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(10 * time.Minute)
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || !math.IsInf(s.Buckets[0].UpperBoundSec, 1) {
+		t.Errorf("overflow snapshot = %+v", s)
+	}
+	if !math.IsInf(s.P50Sec, 1) {
+		t.Errorf("p50 of all-overflow = %v", s.P50Sec)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Millisecond)
+				h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRateMeter()
+	r.now = func() time.Time { return now }
+	for i := 0; i < 120; i++ {
+		r.Tick()
+	}
+	if rate := r.Rate(); math.Abs(rate-2) > 1e-9 {
+		t.Errorf("rate = %v, want 2 (120 events / 60s window)", rate)
+	}
+	// Everything expires once the window slides past.
+	now = time.Unix(1000+2*rateWindow, 0)
+	if rate := r.Rate(); rate != 0 {
+		t.Errorf("rate after expiry = %v", rate)
+	}
+	// A slot is reused cleanly after expiry.
+	r.Tick()
+	if rate := r.Rate(); math.Abs(rate-1.0/rateWindow) > 1e-9 {
+		t.Errorf("rate after reuse = %v", rate)
+	}
+}

@@ -1,0 +1,116 @@
+package optimizer
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PlanCache is an LRU cache of finished plans keyed by normalized statement
+// shape. Each entry records the generation vector sum (catalog + grid +
+// estimator registry + per-estimator generations) observed when the plan was
+// built; a lookup whose current generation differs treats the entry as stale
+// and evicts it, so RegisterTable, InstallLogicalModels, Switch, TuneSystem,
+// and link recalibration all invalidate implicitly — no explicit purge calls
+// are threaded through the engine.
+//
+// Cached *Plan values are shared across callers and must be treated as
+// immutable; every consumer in this repo only reads them.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, stale, evicted uint64
+}
+
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	plan *Plan
+}
+
+// NewPlanCache builds a cache bounded to capacity entries. Capacity ≤ 0
+// selects the default of 256.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &PlanCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan for key when present and built at the current
+// generation. Stale entries are evicted on sight.
+func (c *PlanCache) get(key string, gen uint64) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		c.stale++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.plan, true
+}
+
+// put installs a plan built at the given generation, evicting the least
+// recently used entry when the cache is full.
+func (c *PlanCache) put(key string, gen uint64, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.gen, ent.plan = gen, p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, plan: p})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// Purge drops every entry (statistics are kept).
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Stale    uint64  `json:"stale"`
+	Evicted  uint64  `json:"evicted"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Stats reports the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Size: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Stale: c.stale, Evicted: c.evicted,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"testing"
+
+	"intellisphere/internal/sqlparse"
+)
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	pa, pb, pc := &Plan{}, &Plan{}, &Plan{}
+	c.put("a", 1, pa)
+	c.put("b", 1, pb)
+	// Touch "a" so "b" becomes the LRU victim.
+	if got, ok := c.get("a", 1); !ok || got != pa {
+		t.Fatalf("get(a) = %v, %v", got, ok)
+	}
+	c.put("c", 1, pc)
+	if _, ok := c.get("b", 1); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if got, ok := c.get("a", 1); !ok || got != pa {
+		t.Errorf("get(a) after eviction = %v, %v", got, ok)
+	}
+	if got, ok := c.get("c", 1); !ok || got != pc {
+		t.Errorf("get(c) = %v, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.Size != 2 || s.Capacity != 2 || s.Evicted != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPlanCacheStaleGeneration(t *testing.T) {
+	c := NewPlanCache(4)
+	c.put("q", 7, &Plan{})
+	if _, ok := c.get("q", 8); ok {
+		t.Fatal("stale-generation entry served")
+	}
+	// The stale entry is evicted on sight, so even the old generation now
+	// misses.
+	if _, ok := c.get("q", 7); ok {
+		t.Error("stale entry not evicted")
+	}
+	s := c.Stats()
+	if s.Stale != 1 || s.Misses != 2 || s.Hits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPlanCachePutReplacesAndPurge(t *testing.T) {
+	c := NewPlanCache(4)
+	p1, p2 := &Plan{}, &Plan{}
+	c.put("q", 1, p1)
+	c.put("q", 2, p2)
+	if got, ok := c.get("q", 2); !ok || got != p2 {
+		t.Errorf("replaced entry = %v, %v", got, ok)
+	}
+	if s := c.Stats(); s.Size != 1 {
+		t.Errorf("size after replace = %d", s.Size)
+	}
+	c.Purge()
+	if _, ok := c.get("q", 2); ok {
+		t.Error("entry survived Purge")
+	}
+	if s := c.Stats(); s.Size != 0 || s.Hits != 1 {
+		t.Errorf("stats after purge = %+v", s)
+	}
+}
+
+func TestPlanCacheDefaultCapacity(t *testing.T) {
+	if c := NewPlanCache(0); c.cap != 256 {
+		t.Errorf("default capacity = %d", c.cap)
+	}
+	if c := NewPlanCache(-3); c.cap != 256 {
+		t.Errorf("capacity(-3) = %d", c.cap)
+	}
+}
+
+// TestOptimizerPlanCaching covers the cache end to end through Plan():
+// identical statements share one *Plan, a catalog mutation invalidates, and a
+// cache-disabled optimizer still plans.
+func TestOptimizerPlanCaching(t *testing.T) {
+	f := newFixture(t)
+	f.opt.Cache = NewPlanCache(16)
+	const sql = "SELECT r.a1 FROM t1000000_100 r JOIN s_items s ON r.a1 = s.a1"
+	p1 := f.plan(t, sql)
+	p2 := f.plan(t, sql)
+	if p1 != p2 {
+		t.Error("identical statement replanned instead of hitting the cache")
+	}
+	// The parser normalizes formatting, so a differently spelled but
+	// equivalent statement hits too.
+	p3 := f.plan(t, "SELECT  r.a1  FROM t1000000_100 r JOIN s_items s ON r.a1 = s.a1")
+	if p3 != p1 {
+		t.Error("normalized-equivalent statement missed the cache")
+	}
+	s := f.opt.Cache.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+
+	// A catalog mutation bumps the generation: the next lookup is stale.
+	tb, err := f.cat.Lookup("t10000_40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := *tb
+	clone.Name = "t10000_40_copy"
+	if err := f.cat.Register(&clone); err != nil {
+		t.Fatal(err)
+	}
+	p4 := f.plan(t, sql)
+	if p4 == p1 {
+		t.Error("catalog mutation did not invalidate the cached plan")
+	}
+	if s := f.opt.Cache.Stats(); s.Stale != 1 {
+		t.Errorf("stats after invalidation = %+v", s)
+	}
+
+	// Explain output of a cache hit is byte-identical (same plan object).
+	p5 := f.plan(t, sql)
+	if p5.Explain() != p4.Explain() {
+		t.Error("cached Explain differs from cold Explain")
+	}
+
+	// Cache disabled: planning still works, every call is cold.
+	f.opt.Cache = nil
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.opt.Plan(stmt); err != nil {
+		t.Fatalf("Plan without cache: %v", err)
+	}
+}

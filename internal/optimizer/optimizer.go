@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"intellisphere/internal/catalog"
 	"intellisphere/internal/core"
@@ -12,14 +13,27 @@ import (
 	"intellisphere/internal/parallel"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/querygrid"
+	"intellisphere/internal/registry"
 	"intellisphere/internal/sqlparse"
 )
 
-// Optimizer is the master engine's federated planner.
+// Optimizer is the master engine's federated planner. Estimators is a
+// read-mostly registry (keyed by system name, incl. querygrid.Master) so
+// concurrent planners never contend with registration; lookups are
+// lock-free.
 type Optimizer struct {
 	Catalog    *catalog.Catalog
 	Grid       *querygrid.Grid
-	Estimators map[string]core.Estimator // keyed by system name, incl. querygrid.Master
+	Estimators *registry.Map[core.Estimator]
+	// Workers bounds this optimizer's candidate-costing fan-out. 0 uses the
+	// process default (GOMAXPROCS or INTELLISPHERE_WORKERS); 1 forces serial
+	// sweeps. Plans are identical at any setting.
+	Workers int
+	// Cache, when non-nil, memoizes finished plans keyed by normalized
+	// statement shape and the current generation vector. Cached plans are
+	// byte-identical to freshly built ones — the cache only skips the
+	// candidate enumeration.
+	Cache *PlanCache
 }
 
 // Step is one unit of a physical plan: either a data transfer or an
@@ -67,7 +81,9 @@ type Alternative struct {
 	EstimatedSec float64
 }
 
-// Plan is a chosen physical plan with its costed alternatives.
+// Plan is a chosen physical plan with its costed alternatives. Plans are
+// immutable once built (the plan cache shares one *Plan across callers), so
+// the Explain rendering is memoized.
 type Plan struct {
 	Steps        []Step
 	EstimatedSec float64
@@ -76,22 +92,29 @@ type Plan struct {
 	// user through the master.
 	OutputRows    float64
 	OutputRowSize float64
+
+	explainOnce sync.Once
+	explained   string
 }
 
-// Explain renders the plan.
+// Explain renders the plan. The rendering is computed once per plan, so
+// cache hits return byte-identical output without re-formatting.
 func (p *Plan) Explain() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "plan (estimated %.2fs):\n", p.EstimatedSec)
-	for i, s := range p.Steps {
-		fmt.Fprintf(&b, "  %d. %s\n", i+1, s.Describe())
-	}
-	if len(p.Alternatives) > 0 {
-		b.WriteString("rejected alternatives:\n")
-		for _, a := range p.Alternatives {
-			fmt.Fprintf(&b, "  - %s (%.2fs)\n", a.Description, a.EstimatedSec)
+	p.explainOnce.Do(func() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "plan (estimated %.2fs):\n", p.EstimatedSec)
+		for i, s := range p.Steps {
+			fmt.Fprintf(&b, "  %d. %s\n", i+1, s.Describe())
 		}
-	}
-	return b.String()
+		if len(p.Alternatives) > 0 {
+			b.WriteString("rejected alternatives:\n")
+			for _, a := range p.Alternatives {
+				fmt.Fprintf(&b, "  - %s (%.2fs)\n", a.Description, a.EstimatedSec)
+			}
+		}
+		p.explained = b.String()
+	})
+	return p.explained
 }
 
 // candidate is one placement under construction.
@@ -106,14 +129,50 @@ func (c *candidate) add(s Step) {
 	c.total += s.EstimatedSec
 }
 
-// Plan builds the cheapest federated plan for a parsed statement.
+// Plan builds the cheapest federated plan for a parsed statement, consulting
+// the plan cache first when one is configured. A cache hit returns the
+// previously built plan (callers must treat plans as immutable); any change
+// to the catalog, the grid links, or any estimator invalidates implicitly
+// through the generation vector.
 func (o *Optimizer) Plan(stmt *sqlparse.SelectStmt) (*Plan, error) {
-	if o.Catalog == nil || o.Grid == nil || len(o.Estimators) == 0 {
+	if o.Catalog == nil || o.Grid == nil || o.Estimators == nil || o.Estimators.Len() == 0 {
 		return nil, fmt.Errorf("optimizer: catalog, grid, and estimators are required")
 	}
-	if _, ok := o.Estimators[querygrid.Master]; !ok {
+	if _, ok := o.Estimators.Get(querygrid.Master); !ok {
 		return nil, fmt.Errorf("optimizer: no estimator registered for the master %q", querygrid.Master)
 	}
+	if o.Cache == nil {
+		return o.planUncached(stmt)
+	}
+	key := stmt.String()
+	gen := o.generation()
+	if p, ok := o.Cache.get(key, gen); ok {
+		return p, nil
+	}
+	p, err := o.planUncached(stmt)
+	if err != nil {
+		return nil, err
+	}
+	o.Cache.put(key, gen, p)
+	return p, nil
+}
+
+// generation sums every input the planner's output depends on: catalog
+// contents, grid link configs, the estimator registry, and each estimator's
+// own mutation counter. Counters only increase, so any change to any
+// component changes the sum.
+func (o *Optimizer) generation() uint64 {
+	gen := o.Catalog.Generation() + o.Grid.Generation() + o.Estimators.Generation()
+	for _, est := range o.Estimators.Snapshot() {
+		if v, ok := est.(core.Versioned); ok {
+			gen += v.Generation()
+		}
+	}
+	return gen
+}
+
+// planUncached runs the full candidate enumeration.
+func (o *Optimizer) planUncached(stmt *sqlparse.SelectStmt) (*Plan, error) {
 	a, err := analyze(stmt, o.Catalog)
 	if err != nil {
 		return nil, err
@@ -151,7 +210,7 @@ func (o *Optimizer) finishPlan(stmt *sqlparse.SelectStmt, p *Plan) (*Plan, error
 // masterSortCost prices the final sort with the master's learned sub-op
 // models when available, falling back to a coarse analytic estimate.
 func (o *Optimizer) masterSortCost(rows, rowSize float64) float64 {
-	if est, ok := o.Estimators[querygrid.Master]; ok {
+	if est, ok := o.Estimators.Get(querygrid.Master); ok {
 		if sub, ok := est.(*subop.Estimator); ok && sub.Models != nil {
 			return sub.Models.SortOnlyCost(rows, rowSize)
 		}
@@ -161,7 +220,7 @@ func (o *Optimizer) masterSortCost(rows, rowSize float64) float64 {
 
 // estimator returns the cost estimator for a system.
 func (o *Optimizer) estimator(system string) (core.Estimator, error) {
-	e, ok := o.Estimators[system]
+	e, ok := o.Estimators.Get(system)
 	if !ok {
 		return nil, fmt.Errorf("optimizer: no cost estimator registered for system %q", system)
 	}
@@ -215,7 +274,7 @@ func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
 	// concurrent use), so candidates fan out across the worker pool; the
 	// ordered results keep plan selection identical to a serial sweep.
 	systems := o.placements(owner)
-	cands, err := parallel.Map(len(systems), func(i int) (candidate, error) {
+	cands, err := parallel.MapN(o.Workers, len(systems), func(i int) (candidate, error) {
 		sys := systems[i]
 		est, err := o.estimator(sys)
 		if err != nil {
@@ -293,7 +352,7 @@ func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
 		NumAggregates: numAggs,
 	}
 	systems := o.placements(owner)
-	cands, err := parallel.Map(len(systems), func(i int) (candidate, error) {
+	cands, err := parallel.MapN(o.Workers, len(systems), func(i int) (candidate, error) {
 		sys := systems[i]
 		est, err := o.estimator(sys)
 		if err != nil {
@@ -476,7 +535,7 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 			cost  float64
 		}
 		systems := o.placements(curLoc, nxtOwner)
-		options, err := parallel.Map(len(systems), func(oi int) (option, error) {
+		options, err := parallel.MapN(o.Workers, len(systems), func(oi int) (option, error) {
 			sys := systems[oi]
 			est, err := o.estimator(sys)
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 	"intellisphere/internal/core/subop"
 	"intellisphere/internal/datagen"
 	"intellisphere/internal/querygrid"
+	"intellisphere/internal/registry"
 	"intellisphere/internal/remote"
 	"intellisphere/internal/sqlparse"
 )
@@ -64,7 +65,7 @@ func newFixture(t testing.TB) *fixture {
 		t.Fatal(err)
 	}
 
-	estimators := map[string]core.Estimator{}
+	estimators := registry.New[core.Estimator]()
 	for name, sys := range map[string]remote.System{"hive": hive, "spark": spark, querygrid.Master: td} {
 		ms, _, err := subop.Train(sys, subop.TrainConfig{})
 		if err != nil {
@@ -78,7 +79,7 @@ func newFixture(t testing.TB) *fixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		estimators[name] = est
+		estimators.Set(name, est)
 	}
 	grid, err := querygrid.New(querygrid.DefaultLink())
 	if err != nil {
@@ -272,7 +273,7 @@ func TestPlanErrors(t *testing.T) {
 
 func TestPlanRequiresMasterEstimator(t *testing.T) {
 	f := newFixture(t)
-	delete(f.opt.Estimators, querygrid.Master)
+	f.opt.Estimators.Delete(querygrid.Master)
 	stmt, _ := sqlparse.Parse("SELECT a1 FROM t10000_40")
 	if _, err := f.opt.Plan(stmt); err == nil {
 		t.Error("plan without master estimator accepted")

@@ -9,6 +9,7 @@ package querygrid
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Master is the reserved name of the master (Teradata) engine.
@@ -43,6 +44,7 @@ type Grid struct {
 	mu    sync.RWMutex
 	def   LinkConfig
 	links map[string]LinkConfig
+	gen   atomic.Uint64
 }
 
 // New builds a grid with the given default link characteristics.
@@ -64,8 +66,13 @@ func (g *Grid) SetLink(system string, cfg LinkConfig) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.links[system] = cfg
+	g.gen.Add(1)
 	return nil
 }
+
+// Generation returns the link-configuration mutation counter: it advances on
+// every SetLink so cached transfer costs can detect staleness.
+func (g *Grid) Generation() uint64 { return g.gen.Load() }
 
 func (g *Grid) link(system string) LinkConfig {
 	g.mu.RLock()
@@ -81,19 +88,36 @@ func hop(cfg LinkConfig, rows, rowSize float64) float64 {
 	return cfg.LatencySec + rows*rowSize/cfg.BandwidthBytesPerSec + rows*cfg.PerRowOverheadUS/1e6
 }
 
+// validateTransfer applies the argument checks shared by TransferCost and
+// TransferCostFiltered, in one canonical order: volumes first, then the
+// same-system short-circuit, then system names. free reports that the
+// transfer is a validated same-system no-op.
+func validateTransfer(from, to string, rows, rowSize float64) (free bool, err error) {
+	if rows < 0 || rowSize < 0 {
+		return false, fmt.Errorf("querygrid: negative transfer volume (%v rows × %v B)", rows, rowSize)
+	}
+	if from == to {
+		return true, nil
+	}
+	if from == "" || to == "" {
+		return false, fmt.Errorf("querygrid: empty system name in transfer %q→%q", from, to)
+	}
+	return false, nil
+}
+
 // TransferCost returns the estimated seconds to move rows×rowSize bytes
 // from one system to another. Moving data between two remote systems routes
 // through the master (two hops), matching the IntelliSphere topology.
-// Same-system transfers are free.
+// Same-system transfers are free. Invalid volumes are rejected even when
+// from == to, so callers cannot mask bad statistics behind the
+// short-circuit.
 func (g *Grid) TransferCost(from, to string, rows, rowSize float64) (float64, error) {
-	if rows < 0 || rowSize < 0 {
-		return 0, fmt.Errorf("querygrid: negative transfer volume (%v rows × %v B)", rows, rowSize)
+	free, err := validateTransfer(from, to, rows, rowSize)
+	if err != nil {
+		return 0, err
 	}
-	if from == to {
+	if free {
 		return 0, nil
-	}
-	if from == "" || to == "" {
-		return 0, fmt.Errorf("querygrid: empty system name in transfer %q→%q", from, to)
 	}
 	switch {
 	case from == Master:
@@ -108,19 +132,23 @@ func (g *Grid) TransferCost(from, to string, rows, rowSize float64) (float64, er
 
 // TransferCostFiltered is TransferCost with QueryGrid's in-flight predicate
 // evaluation: only selectivity × rows survive past the source hop, saving
-// the second hop's volume (and the destination's ingest) entirely.
+// the second hop's volume (and the destination's ingest) entirely. It
+// validates its arguments in the same order as TransferCost (volumes and
+// selectivity before the same-system short-circuit), so the two entry
+// points agree on which calls are errors.
 func (g *Grid) TransferCostFiltered(from, to string, rows, rowSize, selectivity float64) (float64, error) {
+	if rows < 0 || rowSize < 0 {
+		return 0, fmt.Errorf("querygrid: negative transfer volume (%v rows × %v B)", rows, rowSize)
+	}
 	if selectivity <= 0 || selectivity > 1 {
 		return 0, fmt.Errorf("querygrid: selectivity %v must be in (0,1]", selectivity)
 	}
-	if from == to {
+	free, err := validateTransfer(from, to, rows, rowSize)
+	if err != nil {
+		return 0, err
+	}
+	if free {
 		return 0, nil
-	}
-	if from == "" || to == "" {
-		return 0, fmt.Errorf("querygrid: empty system name in transfer %q→%q", from, to)
-	}
-	if rows < 0 || rowSize < 0 {
-		return 0, fmt.Errorf("querygrid: negative transfer volume")
 	}
 	kept := rows * selectivity
 	switch {

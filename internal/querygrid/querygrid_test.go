@@ -208,3 +208,97 @@ func TestSimulatedLinkDeterministic(t *testing.T) {
 		t.Error("different seeds produced identical noise")
 	}
 }
+
+// TestTransferValidationOrderAgreement drives TransferCost and
+// TransferCostFiltered (at selectivity 1, where they must agree) through the
+// same edge cases: both entry points must accept and reject the same calls,
+// including bad volumes on a same-system "free" transfer.
+func TestTransferValidationOrderAgreement(t *testing.T) {
+	g := newGrid(t)
+	cases := []struct {
+		name     string
+		from, to string
+		rows     float64
+		rowSize  float64
+		wantErr  bool
+		wantFree bool
+	}{
+		{name: "remote to master", from: "hive", to: Master, rows: 1e6, rowSize: 100},
+		{name: "master to remote", from: Master, to: "hive", rows: 1e6, rowSize: 100},
+		{name: "remote to remote", from: "hive", to: "presto", rows: 1e6, rowSize: 100},
+		{name: "same system free", from: "hive", to: "hive", rows: 1e6, rowSize: 100, wantFree: true},
+		{name: "zero rows", from: "hive", to: Master, rows: 0, rowSize: 100},
+		{name: "zero row size", from: "hive", to: Master, rows: 100, rowSize: 0},
+		{name: "negative rows", from: "hive", to: Master, rows: -1, rowSize: 100, wantErr: true},
+		{name: "negative row size", from: "hive", to: Master, rows: 100, rowSize: -1, wantErr: true},
+		// Bad volume must be rejected even when from == to would make the
+		// transfer free — the same-system short-circuit cannot hide it.
+		{name: "negative rows same system", from: "hive", to: "hive", rows: -1, rowSize: 100, wantErr: true},
+		{name: "negative size same system", from: "hive", to: "hive", rows: 100, rowSize: -1, wantErr: true},
+		{name: "empty from", from: "", to: "hive", rows: 1, rowSize: 1, wantErr: true},
+		{name: "empty to", from: "hive", to: "", rows: 1, rowSize: 1, wantErr: true},
+		{name: "both empty", from: "", to: "", rows: 1, rowSize: 1, wantFree: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, plainErr := g.TransferCost(tc.from, tc.to, tc.rows, tc.rowSize)
+			filt, filtErr := g.TransferCostFiltered(tc.from, tc.to, tc.rows, tc.rowSize, 1)
+			if (plainErr != nil) != tc.wantErr {
+				t.Errorf("TransferCost err = %v, wantErr %v", plainErr, tc.wantErr)
+			}
+			if (filtErr != nil) != (plainErr != nil) {
+				t.Errorf("validation disagreement: TransferCost err %v, TransferCostFiltered err %v", plainErr, filtErr)
+			}
+			if tc.wantErr {
+				return
+			}
+			if plain != filt {
+				t.Errorf("selectivity-1 filtered cost %v != plain cost %v", filt, plain)
+			}
+			if tc.wantFree && plain != 0 {
+				t.Errorf("free transfer cost = %v", plain)
+			}
+			if !tc.wantFree && tc.rows > 0 && tc.rowSize > 0 && plain <= 0 {
+				t.Errorf("paid transfer cost = %v, want > 0", plain)
+			}
+		})
+	}
+}
+
+// TestTransferFilteredSelectivityEdges pins the selectivity validation.
+func TestTransferFilteredSelectivityEdges(t *testing.T) {
+	g := newGrid(t)
+	for _, sel := range []float64{0, -0.5, 1.0001, 2} {
+		if _, err := g.TransferCostFiltered("hive", Master, 1e6, 100, sel); err == nil {
+			t.Errorf("selectivity %v accepted", sel)
+		}
+	}
+	// Selectivity is checked even on the free same-system path, mirroring
+	// the volume checks.
+	if _, err := g.TransferCostFiltered("hive", "hive", 1e6, 100, 0); err == nil {
+		t.Error("zero selectivity accepted on same-system transfer")
+	}
+	full, err := g.TransferCostFiltered("hive", Master, 1e6, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := g.TransferCostFiltered("hive", Master, 1e6, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half >= full {
+		t.Errorf("half-selectivity transfer (%v) not cheaper than full (%v)", half, full)
+	}
+}
+
+// TestGridGeneration checks the invalidation counter advances on SetLink.
+func TestGridGeneration(t *testing.T) {
+	g := newGrid(t)
+	g0 := g.Generation()
+	if err := g.SetLink("hive", DefaultLink()); err != nil {
+		t.Fatal(err)
+	}
+	if g.Generation() <= g0 {
+		t.Errorf("generation %d not advanced from %d by SetLink", g.Generation(), g0)
+	}
+}

@@ -1,0 +1,193 @@
+// Package server exposes a master engine over HTTP/JSON — the serving layer
+// in front of the federated optimizer. Endpoints:
+//
+//	POST /query    {"sql": "..."}  plan + execute, returns plan and actuals
+//	POST /explain  {"sql": "..."}  plan only, returns the rendered plan
+//	GET  /profiles                 registered systems and their estimators
+//	GET  /metrics                  QPS, per-stage latency, cache hit rate,
+//	                               feedback backlog
+//
+// /query and /explain also accept GET with a ?q= parameter for curl
+// convenience. Every handler is wrapped in http.TimeoutHandler so a slow
+// request cannot hold a connection forever, and the engine underneath is
+// safe for whatever concurrency net/http throws at it.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"intellisphere/internal/core/hybrid"
+	"intellisphere/internal/engine"
+	"intellisphere/internal/metrics"
+)
+
+// Server serves one engine.
+type Server struct {
+	eng   *engine.Engine
+	qps   *metrics.RateMeter
+	start time.Time
+}
+
+// New wraps an engine for serving.
+func New(eng *engine.Engine) *Server {
+	return &Server{eng: eng, qps: metrics.NewRateMeter(), start: time.Now()}
+}
+
+// Handler builds the route table. Each route is bounded by timeout (≤ 0
+// selects 30 s).
+func (s *Server) Handler(timeout time.Duration) http.Handler {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	mux := http.NewServeMux()
+	bound := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, timeout, `{"error":"request timed out"}`)
+	}
+	mux.Handle("/query", bound(s.handleQuery))
+	mux.Handle("/explain", bound(s.handleExplain))
+	mux.Handle("/profiles", bound(s.handleProfiles))
+	mux.Handle("/metrics", bound(s.handleMetrics))
+	return mux
+}
+
+// statementRequest is the body of /query and /explain.
+type statementRequest struct {
+	SQL string `json:"sql"`
+}
+
+// readSQL extracts the statement from a JSON body (POST) or the q parameter
+// (GET).
+func readSQL(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Body == nil {
+		return "", fmt.Errorf("missing statement: POST {\"sql\": ...} or GET ?q=...")
+	}
+	var req statementRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return "", fmt.Errorf("decode request: %v", err)
+	}
+	if req.SQL == "" {
+		return "", fmt.Errorf("empty sql field")
+	}
+	return req.SQL, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// queryResponse is the /query result.
+type queryResponse struct {
+	SQL          string      `json:"sql"`
+	Explain      string      `json:"explain"`
+	EstimatedSec float64     `json:"estimated_sec"`
+	ActualSec    float64     `json:"actual_sec"`
+	StepActuals  []float64   `json:"step_actuals"`
+	Columns      []string    `json:"columns,omitempty"`
+	Rows         [][]float64 `json:"rows,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql, err := readSQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.qps.Tick()
+	res, err := s.eng.Query(sql)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := queryResponse{
+		SQL:          sql,
+		Explain:      res.Plan.Explain(),
+		EstimatedSec: res.Plan.EstimatedSec,
+		ActualSec:    res.ActualSec,
+		StepActuals:  res.StepActuals,
+	}
+	if res.Rows != nil {
+		resp.Columns = res.Rows.Columns
+		resp.Rows = res.Rows.Rows
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainResponse is the /explain result.
+type explainResponse struct {
+	SQL     string `json:"sql"`
+	Explain string `json:"explain"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sql, err := readSQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.qps.Tick()
+	out, err := s.eng.Explain(sql)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{SQL: sql, Explain: out})
+}
+
+// profileInfo describes one registered system on /profiles.
+type profileInfo struct {
+	System   string `json:"system"`
+	Approach string `json:"approach"`
+	Active   string `json:"active,omitempty"`
+	Queries  int    `json:"queries,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	var out []profileInfo
+	for _, name := range s.eng.Systems() {
+		info := profileInfo{System: name}
+		est, err := s.eng.Estimator(name)
+		if err != nil {
+			info.Approach = "none"
+			out = append(out, info)
+			continue
+		}
+		info.Approach = string(est.Approach())
+		if h, ok := est.(*hybrid.Estimator); ok {
+			info.Active = string(h.Active())
+			info.Queries = h.Queries()
+			info.Engine = h.Profile().Engine.String()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// metricsResponse is the /metrics payload.
+type metricsResponse struct {
+	UptimeSec float64      `json:"uptime_sec"`
+	QPS       float64      `json:"qps"`
+	Engine    engine.Stats `json:"engine"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		UptimeSec: time.Since(s.start).Seconds(),
+		QPS:       s.qps.Rate(),
+		Engine:    s.eng.Stats(),
+	})
+}

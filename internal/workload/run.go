@@ -43,10 +43,16 @@ func collect(samples []sample) *RunResult {
 // RunJoinSet executes every join training query on the remote system and
 // labels it with the observed cost.
 func RunJoinSet(sys remote.System, qs []JoinQuery) (*RunResult, error) {
+	return RunJoinSetN(0, sys, qs)
+}
+
+// RunJoinSetN is RunJoinSet with an explicit worker bound (0 = process
+// default) so callers can scope fan-out without mutating the global pool.
+func RunJoinSetN(workers int, sys remote.System, qs []JoinQuery) (*RunResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("workload: empty join training set")
 	}
-	samples, err := parallel.Map(len(qs), func(i int) (sample, error) {
+	samples, err := parallel.MapN(workers, len(qs), func(i int) (sample, error) {
 		ex, err := sys.ExecuteJoin(qs[i].Spec)
 		if err != nil {
 			return sample{}, fmt.Errorf("workload: join query %d (%s): %w", i, qs[i].SQL(), err)
@@ -61,10 +67,16 @@ func RunJoinSet(sys remote.System, qs []JoinQuery) (*RunResult, error) {
 
 // RunAggSet executes every aggregation training query on the remote system.
 func RunAggSet(sys remote.System, qs []AggQuery) (*RunResult, error) {
+	return RunAggSetN(0, sys, qs)
+}
+
+// RunAggSetN is RunAggSet with an explicit worker bound (0 = process
+// default).
+func RunAggSetN(workers int, sys remote.System, qs []AggQuery) (*RunResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("workload: empty aggregation training set")
 	}
-	samples, err := parallel.Map(len(qs), func(i int) (sample, error) {
+	samples, err := parallel.MapN(workers, len(qs), func(i int) (sample, error) {
 		ex, err := sys.ExecuteAgg(qs[i].Spec)
 		if err != nil {
 			return sample{}, fmt.Errorf("workload: agg query %d (%s): %w", i, qs[i].SQL(), err)
@@ -93,10 +105,16 @@ func RunJoinSpecs(sys remote.System, specs []plan.JoinSpec) ([]float64, error) {
 // dimension vectors follow the scan model's four dimensions (input rows,
 // input row size, output rows, output row size).
 func RunScanSet(sys remote.System, qs []ScanQuery) (*RunResult, error) {
+	return RunScanSetN(0, sys, qs)
+}
+
+// RunScanSetN is RunScanSet with an explicit worker bound (0 = process
+// default).
+func RunScanSetN(workers int, sys remote.System, qs []ScanQuery) (*RunResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("workload: empty scan training set")
 	}
-	samples, err := parallel.Map(len(qs), func(i int) (sample, error) {
+	samples, err := parallel.MapN(workers, len(qs), func(i int) (sample, error) {
 		ex, err := sys.ExecuteScan(qs[i].Spec)
 		if err != nil {
 			return sample{}, fmt.Errorf("workload: scan query %d (%s): %w", i, qs[i].SQL(), err)

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Smoke test for cmd/serve: build the binary, start it, issue one query and
+# one metrics scrape, then shut it down via SIGTERM and check it exits
+# cleanly. Used by `make smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${SMOKE_ADDR:-127.0.0.1:18080}
+BIN=$(mktemp -d)/serve
+LOG=$(mktemp)
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+$GO build -o "$BIN" ./cmd/serve
+
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the server to come up (training the demo models takes a moment).
+i=0
+until curl -sf "http://$ADDR/profiles" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "smoke: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "smoke: server exited early; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+out=$(curl -sf "http://$ADDR/query" -d '{"sql": "SELECT a1 FROM t10000_100 WHERE a1 < 100"}')
+echo "$out" | grep -q '"actual_sec"' || { echo "smoke: bad /query response: $out" >&2; exit 1; }
+
+out=$(curl -sf "http://$ADDR/metrics")
+echo "$out" | grep -q '"plan_cache"' || { echo "smoke: bad /metrics response: $out" >&2; exit 1; }
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 60 ]; then
+        echo "smoke: server did not shut down; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "smoke: ok"
