@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke ci
+.PHONY: all build vet test race bench smoke chaos ci
 
 all: build
 
@@ -29,4 +29,11 @@ bench:
 smoke:
 	GO="$(GO)" sh scripts/smoke_serve.sh
 
-ci: vet build race bench smoke
+# Fault-injection suite: the seeded chaos tests under the race detector,
+# then an outage + recovery cycle driven against a live cmd/serve through
+# the /faults control plane.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/... -count=1
+	GO="$(GO)" sh scripts/chaos_serve.sh
+
+ci: vet build race bench smoke chaos

@@ -14,9 +14,14 @@
 //	GET  /query?q=SELECT+...               curl-friendly form of the above
 //	GET  /profiles                         registered systems and estimators
 //	GET  /metrics                          QPS, latency, cache hit rate
+//	GET  /health                           breaker states and fallback counters
+//	GET  /faults                           fault-injector switches and stats
+//	POST /faults   {"system": "hive", "outage": true}   force/lift an outage
 //
-// SIGINT/SIGTERM drain in-flight requests and flush pending estimator
-// feedback before exiting.
+// Fault injection is seeded and deterministic; with all -fault-* flags at
+// zero (the default) every response is byte-identical to a build without
+// the fault layer. SIGINT/SIGTERM drain in-flight requests and flush
+// pending estimator feedback before exiting.
 package main
 
 import (
@@ -32,6 +37,8 @@ import (
 	"time"
 
 	"intellisphere/internal/demo"
+	"intellisphere/internal/faults"
+	"intellisphere/internal/resilience"
 	"intellisphere/internal/server"
 )
 
@@ -41,18 +48,42 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulator noise seed")
 	workers := flag.Int("workers", 0, "worker bound for training and candidate costing (0 = process default)")
 	cacheSize := flag.Int("cache-size", 0, "plan cache capacity (0 = default 256, negative disables)")
+	faultTransient := flag.Float64("fault-transient", 0, "per-call transient failure rate on every remote [0,1)")
+	faultLatency := flag.Float64("fault-latency", 0, "per-call latency-spike rate on every remote [0,1)")
+	faultFactor := flag.Float64("fault-latency-factor", 0, "latency-spike multiplier (0 = default 10x)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-injector draw seed (same seed, same fault sequence)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that open a breaker (0 = default 5)")
+	breakerTimeout := flag.Duration("breaker-open-timeout", 0, "open-breaker rejection window before half-open probes (0 = default 10s)")
 	flag.Parse()
 
 	log.Printf("building demo federation (seed %d)...", *seed)
-	eng, err := demo.Build(demo.Config{Seed: *seed, Workers: *workers, PlanCacheSize: *cacheSize})
+	fed, err := demo.BuildFederation(demo.Config{
+		Seed: *seed, Workers: *workers, PlanCacheSize: *cacheSize,
+		Faults: faults.Config{
+			Seed: *faultSeed,
+			Rates: faults.Rates{
+				Transient:     *faultTransient,
+				Latency:       *faultLatency,
+				LatencyFactor: *faultFactor,
+			},
+		},
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: *breakerFailures,
+			OpenTimeout:      *breakerTimeout,
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	eng := fed.Engine
+	if *faultTransient > 0 || *faultLatency > 0 {
+		log.Printf("fault injection armed: transient %.2f latency %.2f (seed %d)", *faultTransient, *faultLatency, *faultSeed)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng).Handler(*timeout),
+		Handler:           server.New(eng).WithFaults(fed.Injectors).Handler(*timeout),
 		ReadHeaderTimeout: 10 * time.Second,
 		// The timeout handler bounds the work; give writes a little slack
 		// beyond it so timeout responses still reach the client.

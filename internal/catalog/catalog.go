@@ -113,6 +113,11 @@ type Table struct {
 	Schema Schema `json:"schema"`
 	Rows   int64  `json:"rows"`
 	System string `json:"system"`
+	// Replicas lists additional systems the same table is linked on, in
+	// fallback-preference order. The optimizer plans against the primary
+	// System; replicas only come into play when degraded re-planning
+	// excludes the primary (a failed or open-circuited remote).
+	Replicas []string `json:"replicas,omitempty"`
 	// PartitionedOn / SortedOn record physical layout properties on the
 	// named column, which the sub-op applicability rules inspect.
 	PartitionedOn string `json:"partitioned_on,omitempty"`
@@ -139,6 +144,16 @@ func (t *Table) Validate() error {
 		if _, ok := t.Schema.Column(t.SortedOn); !ok {
 			return fmt.Errorf("catalog: table %q sorted on unknown column %q", t.Name, t.SortedOn)
 		}
+	}
+	seen := map[string]bool{t.System: true}
+	for _, r := range t.Replicas {
+		if r == "" {
+			return fmt.Errorf("catalog: table %q has an empty replica system", t.Name)
+		}
+		if seen[r] {
+			return fmt.Errorf("catalog: table %q lists system %q twice", t.Name, r)
+		}
+		seen[r] = true
 	}
 	return nil
 }

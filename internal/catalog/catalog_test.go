@@ -132,6 +132,27 @@ func TestTableValidate(t *testing.T) {
 	}
 }
 
+func TestTableReplicaValidation(t *testing.T) {
+	tb := sampleTable("t")
+	tb.System = "hive"
+	tb.Replicas = []string{"spark", "presto"}
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("valid replicas rejected: %v", err)
+	}
+	tb.Replicas = []string{""}
+	if err := tb.Validate(); err == nil {
+		t.Error("empty replica name accepted")
+	}
+	tb.Replicas = []string{"spark", "spark"}
+	if err := tb.Validate(); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+	tb.Replicas = []string{"hive"}
+	if err := tb.Validate(); err == nil {
+		t.Error("replica equal to the owner accepted")
+	}
+}
+
 func TestCatalogCRUD(t *testing.T) {
 	c := New()
 	if err := c.Register(sampleTable("t1")); err != nil {

@@ -11,7 +11,9 @@ import (
 	"intellisphere/internal/core/subop"
 	"intellisphere/internal/datagen"
 	"intellisphere/internal/engine"
+	"intellisphere/internal/faults"
 	"intellisphere/internal/remote"
+	"intellisphere/internal/resilience"
 )
 
 // Config tunes the demo federation.
@@ -22,26 +24,60 @@ type Config struct {
 	// Workers and PlanCacheSize pass through to the engine configuration.
 	Workers       int
 	PlanCacheSize int
+	// Faults configures fault injection on every remote (the master is
+	// never injected). The zero value disables injection entirely, and a
+	// disabled injector is a pure passthrough, so every output stays
+	// byte-identical to an injection-free build. Each remote derives its
+	// own draw seed from Faults.Seed so faults de-correlate across systems.
+	Faults faults.Config
+	// Breaker and Retry pass through to the engine's resilience layer;
+	// zero values select the resilience defaults.
+	Breaker resilience.BreakerConfig
+	Retry   resilience.RetryPolicy
 }
 
-// Build constructs the demo federation: hive owns the bulk of the Figure 10
-// tables, spark owns a handful, presto one warehouse, the master one local
-// dimension table, and two small hive tables are materialized.
+// Federation is the built demo plus the chaos controls over it: every
+// remote sits behind a fault injector keyed by system name.
+type Federation struct {
+	Engine    *engine.Engine
+	Injectors map[string]*faults.Injector
+}
+
+// Build constructs the demo federation, discarding the injector handles.
 func Build(cfg Config) (*engine.Engine, error) {
+	fed, err := BuildFederation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fed.Engine, nil
+}
+
+// BuildFederation constructs the demo federation: hive owns the bulk of the
+// Figure 10 tables, spark owns a handful, presto one warehouse, the master
+// one local dimension table, and two small hive tables are materialized.
+// The hive and spark tables are cross-replicated (and the warehouse
+// replicated onto hive), so degraded re-planning has somewhere to go when a
+// remote fails. Every remote is registered behind a fault injector; the
+// injector stays fault-free during sub-op training (trained models match an
+// injection-free build) and takes cfg.Faults only after the build finishes.
+func BuildFederation(cfg Config) (*Federation, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
 	eng, err := engine.New(engine.Config{
 		Seed: cfg.Seed, Workers: cfg.Workers, PlanCacheSize: cfg.PlanCacheSize,
+		Breaker: cfg.Breaker, Retry: cfg.Retry,
 	})
 	if err != nil {
 		return nil, err
 	}
+	injectors := map[string]*faults.Injector{}
 	hive, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{Seed: cfg.Seed + 1})
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := eng.RegisterRemoteSubOp(hive, remote.EngineHive, subop.InHouseComparable); err != nil {
+	injectors["hive"] = faults.Wrap(hive, faults.Config{})
+	if _, _, err := eng.RegisterRemoteSubOp(injectors["hive"], remote.EngineHive, subop.InHouseComparable); err != nil {
 		return nil, err
 	}
 	sparkCluster := cluster.DefaultHive()
@@ -50,7 +86,8 @@ func Build(cfg Config) (*engine.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := eng.RegisterRemoteSubOp(spark, remote.EngineSpark, subop.InHouseComparable); err != nil {
+	injectors["spark"] = faults.Wrap(spark, faults.Config{})
+	if _, _, err := eng.RegisterRemoteSubOp(injectors["spark"], remote.EngineSpark, subop.InHouseComparable); err != nil {
 		return nil, err
 	}
 	prestoCluster := cluster.DefaultHive()
@@ -59,16 +96,21 @@ func Build(cfg Config) (*engine.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := eng.RegisterRemoteSubOp(presto, remote.EnginePresto, subop.InHouseComparable); err != nil {
+	injectors["presto"] = faults.Wrap(presto, faults.Config{})
+	if _, _, err := eng.RegisterRemoteSubOp(injectors["presto"], remote.EnginePresto, subop.InHouseComparable); err != nil {
 		return nil, err
 	}
 
+	// Replicas change nothing while the owner is healthy (the optimizer
+	// always prefers the primary), but give degraded re-planning a place
+	// to go when a remote fails or open-circuits.
 	for _, rows := range []int64{10000, 100000, 1000000, 10000000, 80000000} {
 		for _, size := range []int{100, 250, 1000} {
 			tb, err := datagen.Table(rows, size, "hive")
 			if err != nil {
 				return nil, err
 			}
+			tb.Replicas = []string{"spark"}
 			if err := eng.RegisterTable(tb); err != nil {
 				return nil, err
 			}
@@ -87,6 +129,7 @@ func Build(cfg Config) (*engine.Engine, error) {
 			return nil, err
 		}
 		tb.Name = spec.name
+		tb.Replicas = []string{"hive"}
 		if err := eng.RegisterTable(tb); err != nil {
 			return nil, err
 		}
@@ -96,6 +139,7 @@ func Build(cfg Config) (*engine.Engine, error) {
 		return nil, err
 	}
 	warehouse.Name = "warehouse"
+	warehouse.Replicas = []string{"hive"}
 	if err := eng.RegisterTable(warehouse); err != nil {
 		return nil, err
 	}
@@ -112,5 +156,12 @@ func Build(cfg Config) (*engine.Engine, error) {
 			return nil, err
 		}
 	}
-	return eng, nil
+	// Arm the injectors only now, after training, with a per-remote draw
+	// seed so the three systems' fault sequences de-correlate.
+	for i, name := range []string{"hive", "spark", "presto"} {
+		c := cfg.Faults
+		c.Seed = cfg.Faults.Seed + int64(i)
+		injectors[name].Configure(c)
+	}
+	return &Federation{Engine: eng, Injectors: injectors}, nil
 }

@@ -10,7 +10,10 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"intellisphere/internal/catalog"
@@ -26,6 +29,7 @@ import (
 	"intellisphere/internal/querygrid"
 	"intellisphere/internal/registry"
 	"intellisphere/internal/remote"
+	"intellisphere/internal/resilience"
 	"intellisphere/internal/rowengine"
 	"intellisphere/internal/sqlparse"
 	"intellisphere/internal/workload"
@@ -50,6 +54,17 @@ type Config struct {
 	// PlanCacheSize bounds the optimizer's LRU plan cache. 0 selects the
 	// default (256 entries); negative disables caching entirely.
 	PlanCacheSize int
+	// Retry governs the retry loop around every remote plan-step call.
+	// The zero value selects the resilience defaults (3 attempts, 25ms
+	// base backoff doubling to 1s, deterministic ±20% jitter).
+	Retry resilience.RetryPolicy
+	// Breaker configures the per-remote circuit breakers. The zero value
+	// selects the resilience defaults (open after 5 consecutive
+	// infrastructural failures, half-open probe after 10s).
+	Breaker resilience.BreakerConfig
+	// DisableFallback turns off degraded re-planning: a failed remote
+	// fails the query instead of re-planning around the failed system.
+	DisableFallback bool
 }
 
 // Engine is the master engine. The remote-system, estimator, and
@@ -68,8 +83,15 @@ type Engine struct {
 	stmts        *stmtCache // nil when caching is disabled
 	workers      int
 
+	breakers *resilience.Group
+	retry    resilience.RetryPolicy
+	fallback bool
+
 	queries     metrics.Counter
 	queryErrors metrics.Counter
+	retries     metrics.Counter
+	fallbacks   metrics.Counter
+	degraded    metrics.Counter
 	parseHist   *metrics.Histogram
 	planHist    *metrics.Histogram
 	executeHist *metrics.Histogram
@@ -108,6 +130,9 @@ func New(cfg Config) (*Engine, error) {
 		materialized: registry.New[*rowengine.Table](),
 		fb:           newFeedbackBatcher(),
 		workers:      cfg.Workers,
+		breakers:     resilience.NewGroup(cfg.Breaker),
+		retry:        cfg.Retry,
+		fallback:     !cfg.DisableFallback,
 		parseHist:    metrics.NewLatencyHistogram(),
 		planHist:     metrics.NewLatencyHistogram(),
 		executeHist:  metrics.NewLatencyHistogram(),
@@ -154,6 +179,21 @@ type Stats struct {
 	Execute         metrics.HistogramSnapshot `json:"execute"`
 	PlanCache       optimizer.CacheStats      `json:"plan_cache"`
 	FeedbackBacklog int                       `json:"feedback_backlog"`
+	Resilience      ResilienceStats           `json:"resilience"`
+}
+
+// ResilienceStats summarizes the fault-tolerance layer: remote-call
+// retries, degraded re-plans, and per-remote circuit-breaker state.
+type ResilienceStats struct {
+	// Retries counts remote plan-step calls repeated after a transient
+	// failure.
+	Retries uint64 `json:"retries"`
+	// Fallbacks counts degraded re-plans (one per excluded system).
+	Fallbacks uint64 `json:"fallbacks"`
+	// DegradedQueries counts queries answered by a fallback plan.
+	DegradedQueries uint64 `json:"degraded_queries"`
+	// Breakers snapshots every per-remote circuit breaker by system name.
+	Breakers map[string]resilience.BreakerSnapshot `json:"breakers"`
 }
 
 // Stats snapshots the engine's serving metrics.
@@ -166,7 +206,41 @@ func (e *Engine) Stats() Stats {
 		Execute:         e.executeHist.Snapshot(),
 		PlanCache:       e.PlanCacheStats(),
 		FeedbackBacklog: e.FeedbackBacklog(),
+		Resilience:      e.ResilienceStats(),
 	}
+}
+
+// ResilienceStats snapshots retry/fallback counters and breaker states.
+func (e *Engine) ResilienceStats() ResilienceStats {
+	return ResilienceStats{
+		Retries:         e.retries.Value(),
+		Fallbacks:       e.fallbacks.Value(),
+		DegradedQueries: e.degraded.Value(),
+		Breakers:        e.breakers.Snapshot(),
+	}
+}
+
+// Health is the engine's liveness verdict for /health: ok while every
+// circuit breaker is closed, degraded otherwise.
+type Health struct {
+	Status     string          `json:"status"` // "ok" or "degraded"
+	OpenCount  int             `json:"open_breakers"`
+	Resilience ResilienceStats `json:"resilience"`
+}
+
+// Health reports whether the federation is fully available.
+func (e *Engine) Health() Health {
+	h := Health{Status: "ok", OpenCount: e.breakers.OpenCount(), Resilience: e.ResilienceStats()}
+	if h.OpenCount > 0 {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Breaker exposes the circuit breaker guarding a system, creating it closed
+// on first use (tests and operational tooling flip or inspect it directly).
+func (e *Engine) Breaker(system string) *resilience.Breaker {
+	return e.breakers.For(system)
 }
 
 // Catalog exposes the engine's catalog.
@@ -362,11 +436,16 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 }
 
 // RegisterTable adds a table (local or foreign) to the catalog. Foreign
-// tables must name a registered remote system.
+// tables must name a registered remote system, as must every replica link.
 func (e *Engine) RegisterTable(t *catalog.Table) error {
 	if t.System != "" {
 		if _, ok := e.remotes.Get(t.System); !ok {
 			return fmt.Errorf("engine: table %q references unregistered system %q", t.Name, t.System)
+		}
+	}
+	for _, r := range t.Replicas {
+		if _, ok := e.remotes.Get(r); !ok {
+			return fmt.Errorf("engine: table %q replica references unregistered system %q", t.Name, r)
 		}
 	}
 	return e.cat.Register(t)
@@ -398,6 +477,12 @@ type QueryResult struct {
 	// Rows holds real results when every referenced table is materialized;
 	// nil otherwise (statistics-only execution).
 	Rows *rowengine.Result
+	// Degraded reports the answer came from a fallback plan after one or
+	// more remotes failed or were open-circuited mid-query.
+	Degraded bool
+	// Excluded lists the systems the fallback plan(s) avoided, sorted;
+	// empty for a healthy execution.
+	Excluded []string
 }
 
 // Explain plans a query and renders the plan without executing it. Repeated
@@ -445,15 +530,49 @@ func (e *Engine) plan(stmt *sqlparse.SelectStmt) (*optimizer.Plan, error) {
 // execution only reads registry snapshots, and estimator feedback is queued
 // to the batcher rather than applied inline.
 func (e *Engine) Query(sql string) (*QueryResult, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with deadline/cancellation plumbing: the context is
+// checked before every plan step and between retry attempts, so a serving
+// timeout cancels in-flight remote work instead of letting it run to
+// completion behind an abandoned request.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
 	e.queries.Inc()
-	res, err := e.query(sql)
+	res, err := e.query(ctx, sql)
 	if err != nil {
 		e.queryErrors.Inc()
 	}
 	return res, err
 }
 
-func (e *Engine) query(sql string) (*QueryResult, error) {
+// stepFailure wraps a plan-step execution error with the system it failed
+// on, so the fallback loop knows which remote to plan around.
+type stepFailure struct {
+	system string
+	kind   string
+	err    error
+}
+
+func (f *stepFailure) Error() string {
+	return fmt.Sprintf("engine: execute %s on %q: %v", f.kind, f.system, f.err)
+}
+
+func (f *stepFailure) Unwrap() error { return f.err }
+
+// fallbackEligible reports whether a query error warrants degraded
+// re-planning: an infrastructural failure (transient exhausted, outage,
+// open breaker) on a non-master system. Semantic errors propagate — they
+// would fail identically on every replica.
+func fallbackEligible(err error) (string, bool) {
+	var sf *stepFailure
+	if !errors.As(err, &sf) || sf.system == querygrid.Master {
+		return "", false
+	}
+	return sf.system, resilience.Infrastructural(sf.err)
+}
+
+func (e *Engine) query(ctx context.Context, sql string) (*QueryResult, error) {
 	stmt, err := e.parse(sql)
 	if err != nil {
 		return nil, err
@@ -464,9 +583,51 @@ func (e *Engine) query(sql string) (*QueryResult, error) {
 	}
 	execStart := time.Now()
 	defer func() { e.executeHist.Observe(time.Since(execStart)) }()
+	res, err := e.execute(ctx, stmt, p)
+	if err == nil || !e.fallback {
+		return res, err
+	}
+	// Degraded re-planning: exclude each failed system in turn and retry
+	// with a fallback plan, as long as failures keep naming new systems.
+	// The exclusion set only grows, so the loop is bounded by the number
+	// of registered remotes.
+	excluded := map[string]bool{}
+	for {
+		system, ok := fallbackEligible(err)
+		if !ok || excluded[system] {
+			return nil, err
+		}
+		excluded[system] = true
+		e.fallbacks.Inc()
+		planStart := time.Now()
+		p2, perr := e.opt.PlanExcluding(stmt, excluded)
+		e.planHist.Observe(time.Since(planStart))
+		if perr != nil {
+			return nil, fmt.Errorf("engine: no fallback plan after %w (re-plan: %v)", err, perr)
+		}
+		res, err = e.execute(ctx, stmt, p2)
+		if err == nil {
+			res.Degraded = true
+			res.Excluded = make([]string, 0, len(excluded))
+			for s := range excluded {
+				res.Excluded = append(res.Excluded, s)
+			}
+			sort.Strings(res.Excluded)
+			e.degraded.Inc()
+			return res, nil
+		}
+	}
+}
+
+// execute runs every step of one plan, then computes row-level answers when
+// every referenced table is materialized.
+func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt, p *optimizer.Plan) (*QueryResult, error) {
 	res := &QueryResult{Plan: p}
 	for _, step := range p.Steps {
-		actual, err := e.executeStep(step)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		actual, err := e.executeStep(ctx, step)
 		if err != nil {
 			return nil, err
 		}
@@ -484,44 +645,46 @@ func (e *Engine) query(sql string) (*QueryResult, error) {
 	return res, nil
 }
 
-// executeStep runs one plan step on the simulators and queues the actual
+// executeStep runs one plan step on the simulators — behind the target
+// system's circuit breaker and the retry policy — and queues the actual
 // cost for delivery to the estimator (the logging phase of Figure 3).
-func (e *Engine) executeStep(step optimizer.Step) (float64, error) {
+func (e *Engine) executeStep(ctx context.Context, step optimizer.Step) (float64, error) {
 	if step.Kind == "transfer" {
 		// Network behaviour is learned elsewhere (Section 2's scope); the
-		// grid estimate doubles as the simulated actual.
+		// grid estimate doubles as the simulated actual. The endpoints
+		// still matter: a transfer cannot move data out of (or into) a
+		// downed or open-circuited system.
+		for _, end := range []string{step.From, step.System} {
+			if err := e.checkEndpoint(end); err != nil {
+				return 0, &stepFailure{system: end, kind: step.Kind, err: err}
+			}
+		}
 		return step.EstimatedSec, nil
 	}
+	// The unknown-system check must precede any estimator work: a plan
+	// step targeting an unregistered system is a planning bug, not a
+	// costing concern.
 	sys, ok := e.remotes.Get(step.System)
-	est, _ := e.estimators.Get(step.System)
 	if !ok {
 		return 0, fmt.Errorf("engine: plan step targets unknown system %q", step.System)
 	}
+	est, _ := e.estimators.Get(step.System)
+	br := e.breakers.For(step.System)
 	var ex remote.Execution
-	var err error
-	switch step.Kind {
-	case "join":
-		ex, err = sys.ExecuteJoin(*step.Join)
-	case "aggregation":
-		ex, err = sys.ExecuteAgg(*step.Agg)
-	case "scan":
-		ex, err = sys.ExecuteScan(*step.Scan)
-	case "sort":
-		// The final ORDER BY runs where the result landed; a sort probe
-		// (read + sort of the result shape) is exactly that work.
-		rows, size := step.Rows, step.RowSize
-		if rows < 1 {
-			rows = 1
+	attempts, err := resilience.Retry(ctx, e.retry, step.System+"/"+step.Kind, func(context.Context) error {
+		if err := br.Allow(); err != nil {
+			return err
 		}
-		if size < 1 {
-			size = 1
-		}
-		ex, err = sys.ExecuteProbe(remote.Probe{Target: remote.Sort, Records: rows, RecordSize: size})
-	default:
-		return 0, fmt.Errorf("engine: unknown step kind %q", step.Kind)
+		var aerr error
+		ex, aerr = e.dispatchStep(sys, step)
+		br.Record(aerr)
+		return aerr
+	})
+	if attempts > 1 {
+		e.retries.Add(uint64(attempts - 1))
 	}
 	if err != nil {
-		return 0, fmt.Errorf("engine: execute %s on %q: %w", step.Kind, step.System, err)
+		return 0, &stepFailure{system: step.System, kind: step.Kind, err: err}
 	}
 	if fb, ok := est.(core.Feedback); ok {
 		it := feedbackItem{est: fb, kind: step.Kind, actualSec: ex.ElapsedSec}
@@ -536,6 +699,57 @@ func (e *Engine) executeStep(step optimizer.Step) (float64, error) {
 		e.fb.enqueue(it)
 	}
 	return ex.ElapsedSec, nil
+}
+
+// checkEndpoint verifies one transfer endpoint is usable: its breaker must
+// admit the call and, when the registered system reports its own
+// availability (the fault injector does), it must be up. The check goes
+// through the breaker so outages observed on transfers open the circuit
+// like operator failures do.
+func (e *Engine) checkEndpoint(system string) error {
+	if system == "" || system == querygrid.Master {
+		return nil
+	}
+	sys, ok := e.remotes.Get(system)
+	if !ok {
+		return nil // unknown endpoints are caught by operator steps
+	}
+	av, ok := sys.(interface{ Available(op string) error })
+	if !ok {
+		return nil // plain simulators are always reachable
+	}
+	br := e.breakers.For(system)
+	if err := br.Allow(); err != nil {
+		return err
+	}
+	err := av.Available("transfer")
+	br.Record(err)
+	return err
+}
+
+// dispatchStep issues one operator execution against a system.
+func (e *Engine) dispatchStep(sys remote.System, step optimizer.Step) (remote.Execution, error) {
+	switch step.Kind {
+	case "join":
+		return sys.ExecuteJoin(*step.Join)
+	case "aggregation":
+		return sys.ExecuteAgg(*step.Agg)
+	case "scan":
+		return sys.ExecuteScan(*step.Scan)
+	case "sort":
+		// The final ORDER BY runs where the result landed; a sort probe
+		// (read + sort of the result shape) is exactly that work.
+		rows, size := step.Rows, step.RowSize
+		if rows < 1 {
+			rows = 1
+		}
+		if size < 1 {
+			size = 1
+		}
+		return sys.ExecuteProbe(remote.Probe{Target: remote.Sort, Records: rows, RecordSize: size})
+	default:
+		return remote.Execution{}, fmt.Errorf("engine: unknown step kind %q", step.Kind)
+	}
 }
 
 // materializedFor collects the materialized tables a statement references;

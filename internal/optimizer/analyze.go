@@ -24,6 +24,9 @@ type analyzed struct {
 	bindings map[string]*catalog.Table
 	// order lists bindings in FROM order (1 or 2 entries).
 	order []string
+	// exclude names systems degraded re-planning must avoid (failed or
+	// open-circuited remotes); nil for a normal plan.
+	exclude map[string]bool
 }
 
 // analyze resolves every table reference and checks column references.
@@ -365,12 +368,24 @@ func (a *analyzed) aggOutputRowSize() (float64, int, error) {
 	return width, numAggs, nil
 }
 
-// systemOf returns the owning system of a binding's table, mapping local
-// tables to the master.
-func (a *analyzed) systemOf(binding string) string {
-	s := a.bindings[binding].System
-	if s == "" {
-		return querygrid.Master
+// systemOf returns the system a binding's table should be read from,
+// mapping local tables to the master. The primary owner wins unless it is
+// excluded (degraded re-planning), in which case the first non-excluded
+// replica takes over; a table whose owner and replicas are all excluded is
+// unreachable and fails the plan.
+func (a *analyzed) systemOf(binding string) (string, error) {
+	t := a.bindings[binding]
+	owner := t.System
+	if owner == "" {
+		owner = querygrid.Master
 	}
-	return s
+	if !a.exclude[owner] {
+		return owner, nil
+	}
+	for _, r := range t.Replicas {
+		if !a.exclude[r] {
+			return r, nil
+		}
+	}
+	return "", fmt.Errorf("optimizer: table %q is unreachable: owner %q and every replica excluded", t.Name, owner)
 }

@@ -1,0 +1,137 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/querygrid"
+	"intellisphere/internal/sqlparse"
+)
+
+// planExcluding parses and plans with exclusions, failing the test on error.
+func (f *fixture) planExcluding(t *testing.T, sql string, exclude map[string]bool) *Plan {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	p, err := f.opt.PlanExcluding(stmt, exclude)
+	if err != nil {
+		t.Fatalf("PlanExcluding(%q): %v", sql, err)
+	}
+	return p
+}
+
+// registerReplicated adds a hive-owned table with a spark replica.
+func registerReplicated(t *testing.T, f *fixture, name string, rows int64) {
+	t.Helper()
+	tb, err := datagen.Table(rows, 100, "hive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Name = name
+	tb.Replicas = []string{"spark"}
+	if err := f.cat.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// touches collects every system a plan's steps reference (including
+// transfer sources).
+func touches(p *Plan) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range p.Steps {
+		out[s.System] = true
+		if s.From != "" {
+			out[s.From] = true
+		}
+	}
+	return out
+}
+
+func TestPlanExcludingFallsBackToReplica(t *testing.T) {
+	f := newFixture(t)
+	registerReplicated(t, f, "rep_orders", 1000000)
+
+	// Healthy plan reads from the primary owner.
+	healthy := f.plan(t, "SELECT a1 FROM rep_orders WHERE a1 < 1000")
+	if !touches(healthy)["hive"] {
+		t.Fatalf("healthy plan avoids the owner: %v", healthy.Explain())
+	}
+	if len(healthy.Excluded) != 0 {
+		t.Errorf("healthy plan marked degraded: %v", healthy.Excluded)
+	}
+
+	// With hive excluded, the replica serves and no step touches hive.
+	deg := f.planExcluding(t, "SELECT a1 FROM rep_orders WHERE a1 < 1000", map[string]bool{"hive": true})
+	tt := touches(deg)
+	if tt["hive"] {
+		t.Fatalf("degraded plan still touches hive:\n%s", deg.Explain())
+	}
+	if !tt["spark"] && !tt[querygrid.Master] {
+		t.Fatalf("degraded plan reads from nowhere:\n%s", deg.Explain())
+	}
+	if len(deg.Excluded) != 1 || deg.Excluded[0] != "hive" {
+		t.Errorf("Excluded = %v", deg.Excluded)
+	}
+	if !strings.Contains(deg.Explain(), "degraded plan (excluded: hive)") {
+		t.Errorf("explain missing degraded banner:\n%s", deg.Explain())
+	}
+}
+
+func TestPlanExcludingJoinAndAggregation(t *testing.T) {
+	f := newFixture(t)
+	registerReplicated(t, f, "rep_fact", 2000000)
+	registerReplicated(t, f, "rep_dim", 100000)
+
+	for _, sql := range []string{
+		"SELECT r.a1 FROM rep_fact r JOIN rep_dim d ON r.a1 = d.a1",
+		"SELECT a5, COUNT(a1) FROM rep_fact GROUP BY a5",
+	} {
+		deg := f.planExcluding(t, sql, map[string]bool{"hive": true})
+		if touches(deg)["hive"] {
+			t.Errorf("%q: degraded plan touches hive:\n%s", sql, deg.Explain())
+		}
+	}
+}
+
+func TestPlanExcludingUnreachableAndMaster(t *testing.T) {
+	f := newFixture(t)
+	stmt, err := sqlparse.Parse("SELECT a1 FROM t1000000_100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1000000_100 is hive-owned with no replica.
+	if _, err := f.opt.PlanExcluding(stmt, map[string]bool{"hive": true}); err == nil {
+		t.Error("plan for an unreachable table succeeded")
+	}
+	if _, err := f.opt.PlanExcluding(stmt, map[string]bool{querygrid.Master: true}); err == nil {
+		t.Error("excluding the master succeeded")
+	}
+}
+
+func TestPlanExcludingBypassesCache(t *testing.T) {
+	f := newFixture(t)
+	registerReplicated(t, f, "rep_c", 500000)
+	f.opt.Cache = NewPlanCache(16)
+	const sql = "SELECT a1 FROM rep_c WHERE a1 < 500"
+
+	normal := f.plan(t, sql)
+	stats := f.opt.Cache.Stats()
+	if stats.Size != 1 {
+		t.Fatalf("cache size = %d after normal plan", stats.Size)
+	}
+	deg := f.planExcluding(t, sql, map[string]bool{"hive": true})
+	if touches(deg)["hive"] {
+		t.Fatal("degraded plan served from cache (touches hive)")
+	}
+	// The degraded plan must not have displaced or polluted the cached one.
+	if s := f.opt.Cache.Stats(); s.Size != 1 {
+		t.Errorf("cache size = %d after degraded plan", s.Size)
+	}
+	again := f.plan(t, sql)
+	if again != normal {
+		t.Error("normal plan no longer served from cache after degraded plan")
+	}
+}

@@ -92,6 +92,9 @@ type Plan struct {
 	// user through the master.
 	OutputRows    float64
 	OutputRowSize float64
+	// Excluded lists the systems a degraded re-plan avoided, sorted; empty
+	// for a normal plan.
+	Excluded []string
 
 	explainOnce sync.Once
 	explained   string
@@ -102,6 +105,9 @@ type Plan struct {
 func (p *Plan) Explain() string {
 	p.explainOnce.Do(func() {
 		var b strings.Builder
+		if len(p.Excluded) > 0 {
+			fmt.Fprintf(&b, "degraded plan (excluded: %s)\n", strings.Join(p.Excluded, ", "))
+		}
 		fmt.Fprintf(&b, "plan (estimated %.2fs):\n", p.EstimatedSec)
 		for i, s := range p.Steps {
 			fmt.Fprintf(&b, "  %d. %s\n", i+1, s.Describe())
@@ -135,21 +141,35 @@ func (c *candidate) add(s Step) {
 // to the catalog, the grid links, or any estimator invalidates implicitly
 // through the generation vector.
 func (o *Optimizer) Plan(stmt *sqlparse.SelectStmt) (*Plan, error) {
+	return o.PlanExcluding(stmt, nil)
+}
+
+// PlanExcluding plans a statement avoiding the named systems entirely — no
+// operator placement, no transfer endpoint, no table read touches them.
+// Tables owned by an excluded system are read from a replica when one is
+// linked. Degraded plans bypass the plan cache in both directions: they are
+// neither served from it (cached plans assume the full federation) nor
+// stored in it (the exclusion is transient — the failed remote is expected
+// back). The master cannot be excluded; it anchors every plan.
+func (o *Optimizer) PlanExcluding(stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
 	if o.Catalog == nil || o.Grid == nil || o.Estimators == nil || o.Estimators.Len() == 0 {
 		return nil, fmt.Errorf("optimizer: catalog, grid, and estimators are required")
 	}
 	if _, ok := o.Estimators.Get(querygrid.Master); !ok {
 		return nil, fmt.Errorf("optimizer: no estimator registered for the master %q", querygrid.Master)
 	}
-	if o.Cache == nil {
-		return o.planUncached(stmt)
+	if exclude[querygrid.Master] {
+		return nil, fmt.Errorf("optimizer: the master %q cannot be excluded", querygrid.Master)
+	}
+	if o.Cache == nil || len(exclude) > 0 {
+		return o.planUncached(stmt, exclude)
 	}
 	key := stmt.String()
 	gen := o.generation()
 	if p, ok := o.Cache.get(key, gen); ok {
 		return p, nil
 	}
-	p, err := o.planUncached(stmt)
+	p, err := o.planUncached(stmt, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -172,11 +192,12 @@ func (o *Optimizer) generation() uint64 {
 }
 
 // planUncached runs the full candidate enumeration.
-func (o *Optimizer) planUncached(stmt *sqlparse.SelectStmt) (*Plan, error) {
+func (o *Optimizer) planUncached(stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
 	a, err := analyze(stmt, o.Catalog)
 	if err != nil {
 		return nil, err
 	}
+	a.exclude = exclude
 	var p *Plan
 	switch {
 	case len(stmt.Joins) > 0:
@@ -188,6 +209,13 @@ func (o *Optimizer) planUncached(stmt *sqlparse.SelectStmt) (*Plan, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if len(exclude) > 0 {
+		p.Excluded = make([]string, 0, len(exclude))
+		for s := range exclude {
+			p.Excluded = append(p.Excluded, s)
+		}
+		sort.Strings(p.Excluded)
 	}
 	return o.finishPlan(stmt, p)
 }
@@ -255,7 +283,10 @@ func pickBest(cands []candidate, outRows, outSize float64) *Plan {
 func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
 	b := a.order[0]
 	t := a.bindings[b]
-	owner := a.systemOf(b)
+	owner, err := a.systemOf(b)
+	if err != nil {
+		return nil, err
+	}
 	sel, err := a.sideSelectivity(b)
 	if err != nil {
 		return nil, err
@@ -273,7 +304,7 @@ func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
 	// Every placement is costed independently (estimators are safe for
 	// concurrent use), so candidates fan out across the worker pool; the
 	// ordered results keep plan selection identical to a serial sweep.
-	systems := o.placements(owner)
+	systems := a.placements(owner)
 	cands, err := parallel.MapN(o.Workers, len(systems), func(i int) (candidate, error) {
 		sys := systems[i]
 		est, err := o.estimator(sys)
@@ -310,12 +341,13 @@ func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
 }
 
 // placements enumerates candidate systems for an operator over inputs owned
-// by the given systems: every distinct owner plus the master.
-func (o *Optimizer) placements(owners ...string) []string {
+// by the given systems: every distinct non-excluded owner plus the master
+// (which is never excluded).
+func (a *analyzed) placements(owners ...string) []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, s := range append(owners, querygrid.Master) {
-		if !seen[s] {
+		if !seen[s] && !a.exclude[s] {
 			seen[s] = true
 			out = append(out, s)
 		}
@@ -327,7 +359,10 @@ func (o *Optimizer) placements(owners ...string) []string {
 func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
 	b := a.order[0]
 	t := a.bindings[b]
-	owner := a.systemOf(b)
+	owner, err := a.systemOf(b)
+	if err != nil {
+		return nil, err
+	}
 	sel, err := a.sideSelectivity(b)
 	if err != nil {
 		return nil, err
@@ -351,7 +386,7 @@ func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
 		OutputRowSize: outSize,
 		NumAggregates: numAggs,
 	}
-	systems := o.placements(owner)
+	systems := a.placements(owner)
 	cands, err := parallel.MapN(o.Workers, len(systems), func(i int) (candidate, error) {
 		sys := systems[i]
 		est, err := o.estimator(sys)
@@ -449,7 +484,10 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	curLoc := a.systemOf(base)
+	curLoc, err := a.systemOf(base)
+	if err != nil {
+		return nil, err
+	}
 	curBase := base // non-empty while the intermediate is still a base table
 	p := &Plan{}
 
@@ -461,7 +499,10 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		nxtOwner := a.systemOf(st.newBinding)
+		nxtOwner, err := a.systemOf(st.newBinding)
+		if err != nil {
+			return nil, err
+		}
 
 		// The probe side's key statistics: NDV of the probe column on its
 		// base table, capped by the intermediate cardinality.
@@ -534,7 +575,7 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 			steps []Step
 			cost  float64
 		}
-		systems := o.placements(curLoc, nxtOwner)
+		systems := a.placements(curLoc, nxtOwner)
 		options, err := parallel.MapN(o.Workers, len(systems), func(oi int) (option, error) {
 			sys := systems[oi]
 			est, err := o.estimator(sys)

@@ -89,12 +89,16 @@ func hop(cfg LinkConfig, rows, rowSize float64) float64 {
 }
 
 // validateTransfer applies the argument checks shared by TransferCost and
-// TransferCostFiltered, in one canonical order: volumes first, then the
-// same-system short-circuit, then system names. free reports that the
-// transfer is a validated same-system no-op.
-func validateTransfer(from, to string, rows, rowSize float64) (free bool, err error) {
+// TransferCostFiltered, in one canonical order: volumes first, then
+// selectivity, then the same-system short-circuit, then system names
+// (TransferCost passes selectivity 1, which never fails). free reports
+// that the transfer is a validated same-system no-op.
+func validateTransfer(from, to string, rows, rowSize, selectivity float64) (free bool, err error) {
 	if rows < 0 || rowSize < 0 {
 		return false, fmt.Errorf("querygrid: negative transfer volume (%v rows × %v B)", rows, rowSize)
+	}
+	if selectivity <= 0 || selectivity > 1 {
+		return false, fmt.Errorf("querygrid: selectivity %v must be in (0,1]", selectivity)
 	}
 	if from == to {
 		return true, nil
@@ -112,7 +116,7 @@ func validateTransfer(from, to string, rows, rowSize float64) (free bool, err er
 // from == to, so callers cannot mask bad statistics behind the
 // short-circuit.
 func (g *Grid) TransferCost(from, to string, rows, rowSize float64) (float64, error) {
-	free, err := validateTransfer(from, to, rows, rowSize)
+	free, err := validateTransfer(from, to, rows, rowSize, 1)
 	if err != nil {
 		return 0, err
 	}
@@ -137,13 +141,7 @@ func (g *Grid) TransferCost(from, to string, rows, rowSize float64) (float64, er
 // selectivity before the same-system short-circuit), so the two entry
 // points agree on which calls are errors.
 func (g *Grid) TransferCostFiltered(from, to string, rows, rowSize, selectivity float64) (float64, error) {
-	if rows < 0 || rowSize < 0 {
-		return 0, fmt.Errorf("querygrid: negative transfer volume (%v rows × %v B)", rows, rowSize)
-	}
-	if selectivity <= 0 || selectivity > 1 {
-		return 0, fmt.Errorf("querygrid: selectivity %v must be in (0,1]", selectivity)
-	}
-	free, err := validateTransfer(from, to, rows, rowSize)
+	free, err := validateTransfer(from, to, rows, rowSize, selectivity)
 	if err != nil {
 		return 0, err
 	}

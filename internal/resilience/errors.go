@@ -1,0 +1,62 @@
+// Package resilience provides the fault-tolerance primitives the federated
+// engine threads around every remote-system call: transient/unavailable
+// error classification, retry with capped exponential backoff and
+// deterministic jitter, and per-remote circuit breakers with
+// generation-counted state transitions (the same invalidation idiom as
+// internal/registry). Everything is deterministic given its seed and clock,
+// so chaos tests are as reproducible as the rest of the simulator.
+package resilience
+
+import (
+	"errors"
+)
+
+// ErrOpen is returned by Breaker.Allow while the breaker rejects calls. It
+// classifies as unavailable (not transient): retrying immediately cannot
+// help, but re-planning around the system can.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// temporary is implemented by errors describing a one-off failure that a
+// retry may outlive (network blips, injected transient faults).
+type temporary interface{ Temporary() bool }
+
+// unavailable is implemented by errors describing a system that is down and
+// will stay down for a while (outages, open breakers): retrying is futile,
+// fallback planning is the remedy.
+type unavailable interface{ Unavailable() bool }
+
+// IsTransient reports whether err (or anything it wraps) marks itself as a
+// temporary failure worth retrying.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(temporary); ok {
+			return t.Temporary()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// IsUnavailable reports whether err (or anything it wraps) marks the target
+// system as down — including an open circuit breaker.
+func IsUnavailable(err error) bool {
+	if errors.Is(err, ErrOpen) {
+		return true
+	}
+	for err != nil {
+		if u, ok := err.(unavailable); ok {
+			return u.Unavailable()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// Infrastructural reports whether err describes the health of the system it
+// came from (transient fault, outage, open breaker) rather than a semantic
+// problem with the request itself. Only infrastructural errors trip circuit
+// breakers and trigger degraded re-planning; a malformed spec would fail on
+// every replica alike.
+func Infrastructural(err error) bool {
+	return IsTransient(err) || IsUnavailable(err)
+}

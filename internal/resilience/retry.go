@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy tunes the retry loop around one remote call. The zero value
+// selects the defaults noted per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry (default 2).
+	Multiplier float64
+	// Jitter is the ± fraction applied to each delay (default 0.2). The
+	// jitter is deterministic: it derives from Seed, the call's salt, and
+	// the attempt number, so the same schedule replays on the same inputs
+	// while distinct callers de-synchronize.
+	Jitter float64
+	// Seed drives the deterministic jitter.
+	Seed int64
+	// Sleep waits between attempts; nil selects a context-aware
+	// time.Sleep. Tests inject instant clocks here.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// sleepCtx sleeps for d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Delay returns the backoff before retry number retry (1-based) for the
+// given salt: capped exponential growth with deterministic jitter.
+func (p RetryPolicy) Delay(salt string, retry int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*uniform(p.Seed, salt, retry)-1)
+	}
+	return time.Duration(d)
+}
+
+// uniform hashes (seed, salt, n) to [0,1) with a splitmix64 finalizer —
+// the same reproducible-noise construction the remote simulators use.
+func uniform(seed int64, salt string, n int) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	v := uint64(seed)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+		buf[8+i] = byte(uint64(n) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(salt))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Retry runs attempt until it succeeds, returns a non-transient error, the
+// attempt budget is exhausted, or the context ends. Only errors classified
+// transient (IsTransient) are retried — unavailable errors (outages, open
+// breakers) and semantic errors return immediately, leaving the fallback
+// decision to the caller. It returns the number of attempts made alongside
+// the final error.
+func Retry(ctx context.Context, p RetryPolicy, salt string, attempt func(context.Context) error) (int, error) {
+	p = p.withDefaults()
+	var err error
+	for n := 1; ; n++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return n - 1, cerr
+		}
+		err = attempt(ctx)
+		if err == nil || !IsTransient(err) || n >= p.MaxAttempts {
+			return n, err
+		}
+		if serr := p.Sleep(ctx, p.Delay(salt, n)); serr != nil {
+			return n, serr
+		}
+	}
+}

@@ -6,34 +6,50 @@
 //	GET  /profiles                 registered systems and their estimators
 //	GET  /metrics                  QPS, per-stage latency, cache hit rate,
 //	                               feedback backlog
+//	GET  /health                   federation availability: circuit-breaker
+//	                               states, retry/fallback counters; 503
+//	                               while any breaker is open
 //
 // /query and /explain also accept GET with a ?q= parameter for curl
 // convenience. Every handler is wrapped in http.TimeoutHandler so a slow
-// request cannot hold a connection forever, and the engine underneath is
-// safe for whatever concurrency net/http throws at it.
+// request cannot hold a connection forever, and /query additionally
+// threads the request context into the engine so a timed-out or abandoned
+// request cancels its remaining plan steps. The engine underneath is safe
+// for whatever concurrency net/http throws at it.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 
 	"intellisphere/internal/core/hybrid"
 	"intellisphere/internal/engine"
+	"intellisphere/internal/faults"
 	"intellisphere/internal/metrics"
 )
 
 // Server serves one engine.
 type Server struct {
-	eng   *engine.Engine
-	qps   *metrics.RateMeter
-	start time.Time
+	eng    *engine.Engine
+	qps    *metrics.RateMeter
+	start  time.Time
+	faults map[string]*faults.Injector
 }
 
 // New wraps an engine for serving.
 func New(eng *engine.Engine) *Server {
 	return &Server{eng: eng, qps: metrics.NewRateMeter(), start: time.Now()}
+}
+
+// WithFaults enables the /faults chaos endpoint over the given per-system
+// injectors (typically demo.Federation.Injectors). Without it, /faults
+// reports that injection is not enabled.
+func (s *Server) WithFaults(inj map[string]*faults.Injector) *Server {
+	s.faults = inj
+	return s
 }
 
 // Handler builds the route table. Each route is bounded by timeout (≤ 0
@@ -50,6 +66,8 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 	mux.Handle("/explain", bound(s.handleExplain))
 	mux.Handle("/profiles", bound(s.handleProfiles))
 	mux.Handle("/metrics", bound(s.handleMetrics))
+	mux.Handle("/health", bound(s.handleHealth))
+	mux.Handle("/faults", bound(s.handleFaults))
 	return mux
 }
 
@@ -96,6 +114,8 @@ type queryResponse struct {
 	EstimatedSec float64     `json:"estimated_sec"`
 	ActualSec    float64     `json:"actual_sec"`
 	StepActuals  []float64   `json:"step_actuals"`
+	Degraded     bool        `json:"degraded,omitempty"`
+	Excluded     []string    `json:"excluded,omitempty"`
 	Columns      []string    `json:"columns,omitempty"`
 	Rows         [][]float64 `json:"rows,omitempty"`
 }
@@ -107,7 +127,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.qps.Tick()
-	res, err := s.eng.Query(sql)
+	res, err := s.eng.QueryContext(r.Context(), sql)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -118,6 +138,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		EstimatedSec: res.Plan.EstimatedSec,
 		ActualSec:    res.ActualSec,
 		StepActuals:  res.StepActuals,
+		Degraded:     res.Degraded,
+		Excluded:     res.Excluded,
 	}
 	if res.Rows != nil {
 		resp.Columns = res.Rows.Columns
@@ -190,4 +212,61 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		QPS:       s.qps.Rate(),
 		Engine:    s.eng.Stats(),
 	})
+}
+
+// faultStatus reports one injector on /faults.
+type faultStatus struct {
+	System string       `json:"system"`
+	Down   bool         `json:"down"`
+	Stats  faults.Stats `json:"stats"`
+}
+
+// faultRequest is the POST /faults body: flip one system's outage switch.
+type faultRequest struct {
+	System string `json:"system"`
+	Outage bool   `json:"outage"`
+}
+
+// handleFaults is the chaos control plane: GET lists every injector's
+// outage switch and counters; POST {"system": "...", "outage": true}
+// forces (or lifts) a full outage on one remote.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if s.faults == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("fault injection not enabled"))
+		return
+	}
+	if r.Method == http.MethodPost {
+		var req faultRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %v", err))
+			return
+		}
+		inj, ok := s.faults[req.System]
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown system %q", req.System))
+			return
+		}
+		inj.SetOutage(req.Outage)
+		writeJSON(w, http.StatusOK, faultStatus{System: req.System, Down: inj.Down(), Stats: inj.Stats()})
+		return
+	}
+	out := make([]faultStatus, 0, len(s.faults))
+	for name, inj := range s.faults {
+		out = append(out, faultStatus{System: name, Down: inj.Down(), Stats: inj.Stats()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].System < out[j].System })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth reports federation availability. Load balancers get the
+// verdict from the status code alone: 200 while every breaker is closed,
+// 503 once any remote is open-circuited (queries may still answer via
+// degraded plans, but capacity is reduced).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.eng.Health()
+	status := http.StatusOK
+	if h.OpenCount > 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }

@@ -1,0 +1,120 @@
+#!/bin/sh
+# Chaos test for cmd/serve: build the binary with the race detector, start
+# it with a tight circuit breaker, force a hive outage through the /faults
+# control plane, and verify the federation keeps answering with degraded
+# plans, /health flips to 503 with an open breaker, and both recover after
+# the outage lifts. Used by `make chaos` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${CHAOS_ADDR:-127.0.0.1:18081}
+BIN=$(mktemp -d)/serve
+LOG=$(mktemp)
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+$GO build -race -o "$BIN" ./cmd/serve
+
+"$BIN" -addr "$ADDR" -breaker-failures 2 -breaker-open-timeout 2s >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the server to come up (training the demo models takes a moment;
+# the race-instrumented build is slower still).
+i=0
+until curl -sf "http://$ADDR/profiles" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 240 ]; then
+        echo "chaos: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "chaos: server exited early; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# t10000000_1000 is hive-owned with a spark replica; its size keeps the
+# optimizer's healthy placement on hive, so a hive outage must show up.
+QUERY='{"sql": "SELECT a5, COUNT(a1) FROM t10000000_1000 GROUP BY a5"}'
+
+fail() {
+    echo "chaos: $1" >&2
+    shift
+    [ $# -gt 0 ] && echo "  $*" >&2
+    echo "server log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# 1. Healthy baseline: query answers undegraded, /health is 200/ok.
+out=$(curl -sf "http://$ADDR/query" -d "$QUERY")
+echo "$out" | grep -q '"degraded"' && fail "healthy query already degraded" "$out"
+out=$(curl -sf "http://$ADDR/health")
+echo "$out" | grep -q '"status": "ok"' || fail "bad healthy /health" "$out"
+
+# 2. Outage: queries keep answering via the spark replica with the fallback
+# recorded, and enough failures open hive's breaker.
+curl -sf "http://$ADDR/faults" -d '{"system": "hive", "outage": true}' >/dev/null \
+    || fail "could not force the outage"
+i=0
+while :; do
+    out=$(curl -sf "http://$ADDR/query" -d "$QUERY") || fail "query failed during outage"
+    echo "$out" | grep -q '"degraded": true' || fail "outage query not degraded" "$out"
+    echo "$out" | grep -q '"hive"' || fail "outage query does not record hive exclusion" "$out"
+    health=$(curl -s "http://$ADDR/health")
+    if echo "$health" | grep -q '"open"'; then
+        break
+    fi
+    i=$((i + 1))
+    [ "$i" -ge 10 ] && fail "breaker never opened" "$health"
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/health")
+[ "$code" = "503" ] || fail "/health during outage returned $code, want 503"
+out=$(curl -s "http://$ADDR/health")
+echo "$out" | grep -q '"status": "degraded"' || fail "bad outage /health" "$out"
+out=$(curl -sf "http://$ADDR/faults")
+echo "$out" | grep -q '"down": true' || fail "injector not reported down" "$out"
+
+# 3. Recovery: lift the outage, wait out the open window, and watch the
+# breaker half-open then close as queries return to the primary.
+curl -sf "http://$ADDR/faults" -d '{"system": "hive", "outage": false}' >/dev/null \
+    || fail "could not lift the outage"
+i=0
+while :; do
+    sleep 1
+    out=$(curl -sf "http://$ADDR/query" -d "$QUERY") || fail "query failed after recovery"
+    if ! echo "$out" | grep -q '"degraded": true'; then
+        break
+    fi
+    i=$((i + 1))
+    [ "$i" -ge 15 ] && fail "queries still degraded after recovery" "$out"
+done
+out=$(curl -sf "http://$ADDR/health")
+echo "$out" | grep -q '"status": "ok"' || fail "/health did not recover" "$out"
+echo "$out" | grep -q '"state": "closed"' || fail "hive breaker did not close" "$out"
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 60 ]; then
+        fail "server did not shut down"
+    fi
+    sleep 0.5
+done
+wait "$PID" 2>/dev/null || true
+PID=
+
+if grep -q "DATA RACE" "$LOG"; then
+    fail "race detected"
+fi
+
+echo "chaos: ok"
