@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke chaos ci
+.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke chaos ci
 
 all: build
 
@@ -24,6 +24,18 @@ bench:
 	$(GO) test ./internal/nn -run '^$$' -bench BenchmarkNNTrain -benchtime 1x
 	$(GO) test ./internal/optimizer -run '^$$' -bench BenchmarkOptimizerPlan -benchtime 1x
 
+# Full benchmark run recorded as a JSON perf snapshot (BENCH_PR4.json):
+# ns/op plus B/op + allocs/op per benchmark, so the trajectory across PRs
+# stays diffable.
+bench-snapshot:
+	GO="$(GO)" sh scripts/bench_snapshot.sh
+
+# One-iteration pass through the same script into a throwaway file — proves
+# the suite and the snapshot parser still work without paying for a real
+# measurement. Part of `make ci`.
+bench-snapshot-smoke:
+	GO="$(GO)" BENCHTIME=1x BENCH_OUT="$$(mktemp)" sh scripts/bench_snapshot.sh
+
 # End-to-end serving smoke: build cmd/serve, start it, run one query and a
 # metrics scrape over HTTP, then shut down gracefully.
 smoke:
@@ -36,4 +48,4 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/... -count=1
 	GO="$(GO)" sh scripts/chaos_serve.sh
 
-ci: vet build race bench smoke chaos
+ci: vet build race bench bench-snapshot-smoke smoke chaos

@@ -9,14 +9,18 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "SELECT ..."}   plan + execute
-//	POST /explain  {"sql": "SELECT ..."}   plan only
-//	GET  /query?q=SELECT+...               curl-friendly form of the above
-//	GET  /profiles                         registered systems and estimators
-//	GET  /metrics                          QPS, latency, cache hit rate
-//	GET  /health                           breaker states and fallback counters
-//	GET  /faults                           fault-injector switches and stats
-//	POST /faults   {"system": "hive", "outage": true}   force/lift an outage
+//	POST /query        {"sql": "SELECT ..."}   plan + execute
+//	POST /query/batch  ["SELECT ...", ...]     plan together, execute in order
+//	POST /explain      {"sql": "SELECT ..."}   plan only
+//	GET  /query?q=SELECT+...                   curl-friendly form of the above
+//	GET  /profiles                             registered systems and estimators
+//	GET  /metrics                              QPS, latency, cache hit rate
+//	GET  /health                               breaker states and fallback counters
+//	GET  /faults                               fault-injector switches and stats
+//	POST /faults   {"system": "hive", "outage": true}       force/lift an outage
+//
+// -warm pre-plans the demo statement mix (demo.Statements) so the plan
+// cache is hot before the first client arrives.
 //
 // Fault injection is seeded and deterministic; with all -fault-* flags at
 // zero (the default) every response is byte-identical to a build without
@@ -54,6 +58,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injector draw seed (same seed, same fault sequence)")
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that open a breaker (0 = default 5)")
 	breakerTimeout := flag.Duration("breaker-open-timeout", 0, "open-breaker rejection window before half-open probes (0 = default 10s)")
+	warm := flag.Bool("warm", false, "pre-plan the demo statement mix into the plan cache before serving")
 	flag.Parse()
 
 	log.Printf("building demo federation (seed %d)...", *seed)
@@ -77,6 +82,15 @@ func main() {
 		os.Exit(1)
 	}
 	eng := fed.Engine
+	if *warm {
+		sqls := demo.Statements()
+		for _, sql := range sqls {
+			if _, err := eng.Explain(sql); err != nil {
+				log.Printf("warm %q: %v", sql, err)
+			}
+		}
+		log.Printf("plan cache warmed with %d statements", len(sqls))
+	}
 	if *faultTransient > 0 || *faultLatency > 0 {
 		log.Printf("fault injection armed: transient %.2f latency %.2f (seed %d)", *faultTransient, *faultLatency, *faultSeed)
 	}

@@ -1,0 +1,98 @@
+package hybrid
+
+import (
+	"testing"
+
+	"intellisphere/internal/core"
+	"intellisphere/internal/core/subop"
+	"intellisphere/internal/plan"
+	"intellisphere/internal/remote"
+)
+
+func batchJoinSpecs() []plan.JoinSpec {
+	specs := make([]plan.JoinSpec, 0, 5)
+	for _, rows := range []float64{4e6, 1e6, 4e6, 8e6} { // includes a duplicate
+		specs = append(specs, plan.JoinSpec{
+			Left:       plan.TableSide{Rows: rows, RowSize: 250, ProjectedSize: 20, KeyNDV: rows},
+			Right:      plan.TableSide{Rows: rows / 10, RowSize: 250, ProjectedSize: 20, KeyNDV: rows / 10},
+			OutputRows: rows / 10,
+		})
+	}
+	return append(specs, specs[0])
+}
+
+// A batch through the hybrid router must be element-wise identical to
+// sequential scalar estimates and count every spec against the profile.
+func TestEstimatorBatchMatchesSequential(t *testing.T) {
+	ms := trainSubOp(t)
+	jm := trainLogicalJoin(t)
+	specs := batchJoinSpecs()
+	for _, active := range []core.Approach{core.SubOp, core.LogicalOp} {
+		// Two estimators over the same models: one serves the batch, the
+		// other the sequential reference (profiles are mutated by routing, so
+		// each needs its own).
+		mk := func() *Estimator {
+			e, err := NewEstimator(&Profile{
+				SystemName: "c", Engine: remote.EngineHive, Active: active,
+				Policy: subop.InHouseComparable, SubOpModels: ms, LogicalJoin: jm,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		batcher, seq := mk(), mk()
+		got, err := batcher.EstimateJoinBatch(specs)
+		if err != nil {
+			t.Fatalf("active=%v: EstimateJoinBatch: %v", active, err)
+		}
+		for i, spec := range specs {
+			want, err := seq.EstimateJoin(spec)
+			if err != nil {
+				t.Fatalf("active=%v: EstimateJoin[%d]: %v", active, i, err)
+			}
+			if got[i] != want {
+				t.Errorf("active=%v: batch[%d] = %+v, scalar = %+v", active, i, got[i], want)
+			}
+		}
+		if batcher.Queries() != seq.Queries() {
+			t.Errorf("active=%v: batch counted %d queries, sequential %d", active, batcher.Queries(), seq.Queries())
+		}
+	}
+}
+
+// With a pending query-count switchover, the batch path must fall back to
+// per-spec routing so the switch lands at exactly the same estimate index as
+// sequential scalar calls.
+func TestEstimatorBatchSwitchAfter(t *testing.T) {
+	ms := trainSubOp(t)
+	jm := trainLogicalJoin(t)
+	e, err := NewEstimator(&Profile{
+		SystemName: "c", Engine: remote.EngineHive, Active: core.SubOp,
+		SwitchAfter: 3, Policy: subop.InHouseComparable,
+		SubOpModels: ms, LogicalJoin: jm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := batchJoinSpecs()
+	got, err := e.EstimateJoinBatch(specs)
+	if err != nil {
+		t.Fatalf("EstimateJoinBatch: %v", err)
+	}
+	for i, est := range got {
+		want := core.SubOp
+		if i >= 3 {
+			want = core.LogicalOp
+		}
+		if est.Approach != want {
+			t.Errorf("estimate %d used %v, want %v", i, est.Approach, want)
+		}
+	}
+	if e.Active() != core.LogicalOp {
+		t.Error("profile did not switch during the batch")
+	}
+	if e.Queries() != len(specs) {
+		t.Errorf("queries = %d, want %d", e.Queries(), len(specs))
+	}
+}

@@ -1,0 +1,135 @@
+package logicalop
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"intellisphere/internal/core"
+	"intellisphere/internal/plan"
+)
+
+// EstimateBatch must be element-wise identical to per-input Estimate —
+// including out-of-range inputs that route through the remedy and exact
+// duplicates served from the batch memo.
+func TestEstimateBatchMatchesEstimate(t *testing.T) {
+	m := trainSynth(t)
+	xs := [][]float64{
+		{4, 250},   // in range
+		{20, 250},  // rows pivot → remedy
+		{4, 250},   // duplicate of 0 (memo)
+		{20, 5000}, // two pivots
+		{2, 100},   // in range
+		{20, 250},  // duplicate of 1 (memoized remedy)
+		{7.5, 960}, // in range, off-grid
+	}
+	got, err := m.EstimateBatch(xs)
+	if err != nil {
+		t.Fatalf("EstimateBatch: %v", err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("len = %d, want %d", len(got), len(xs))
+	}
+	for i, x := range xs {
+		want, err := m.Estimate(x)
+		if err != nil {
+			t.Fatalf("Estimate(%v): %v", x, err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("batch[%d] = %+v, scalar = %+v", i, got[i], want)
+		}
+	}
+	// The memo must share one computation: duplicates are exactly equal.
+	if !reflect.DeepEqual(got[0], got[2]) || !reflect.DeepEqual(got[1], got[5]) {
+		t.Error("duplicate inputs produced different estimates")
+	}
+}
+
+func TestEstimateBatchDimMismatch(t *testing.T) {
+	m := trainSynth(t)
+	if _, err := m.EstimateBatch([][]float64{{4, 250}, {1}}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestEstimateBatchEmpty(t *testing.T) {
+	m := trainSynth(t)
+	out, err := m.EstimateBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+// The Estimator's batch methods must be element-wise identical to the scalar
+// methods and share their error behavior.
+func TestEstimatorBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var jx [][]float64
+	var jy []float64
+	for i := 0; i < 120; i++ {
+		spec := plan.JoinSpec{
+			Left:       plan.TableSide{Rows: rng.Float64()*1e6 + 1e4, RowSize: 100 + rng.Float64()*900, ProjectedSize: 20},
+			Right:      plan.TableSide{Rows: rng.Float64()*1e5 + 1e3, RowSize: 100 + rng.Float64()*900, ProjectedSize: 20},
+			OutputRows: 1000,
+		}
+		jx = append(jx, spec.Dims())
+		jy = append(jy, spec.Left.Rows*1e-5+spec.Right.Rows*1e-5+3)
+	}
+	cfg := DefaultConfig(7, 2)
+	cfg.NN.Train.Iterations = 200
+	jm, _, err := Train("join", plan.JoinDimNames(), jx, jy, cfg)
+	if err != nil {
+		t.Fatalf("join Train: %v", err)
+	}
+	est := &Estimator{Join: jm}
+
+	specs := make([]plan.JoinSpec, 0, 6)
+	for _, rows := range []float64{5e5, 2e5, 5e5, 9e5} { // includes a duplicate
+		specs = append(specs, plan.JoinSpec{
+			Left:       plan.TableSide{Rows: rows, RowSize: 500, ProjectedSize: 20},
+			Right:      plan.TableSide{Rows: rows / 10, RowSize: 500, ProjectedSize: 20},
+			OutputRows: 1000,
+		})
+	}
+	specs = append(specs, specs[0]) // exact duplicate spec
+
+	batch, err := est.EstimateJoinBatch(specs)
+	if err != nil {
+		t.Fatalf("EstimateJoinBatch: %v", err)
+	}
+	for i, spec := range specs {
+		want, err := est.EstimateJoin(spec)
+		if err != nil {
+			t.Fatalf("EstimateJoin[%d]: %v", i, err)
+		}
+		if batch[i] != want {
+			t.Errorf("batch[%d] = %+v, scalar = %+v", i, batch[i], want)
+		}
+	}
+
+	// Error behavior matches the scalar methods.
+	if _, err := est.EstimateJoinBatch([]plan.JoinSpec{{}}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := est.EstimateAggBatch([]plan.AggSpec{{InputRows: 1, InputRowSize: 1, OutputRows: 1, OutputRowSize: 1}}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("agg without model: err = %v, want ErrUnsupported", err)
+	}
+	if _, err := est.EstimateScanBatch([]plan.ScanSpec{{InputRows: 1, InputRowSize: 1, Selectivity: 1, OutputRowSize: 1}}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("scan without model: err = %v, want ErrUnsupported", err)
+	}
+	// Empty groups succeed even without models (nothing to estimate), exactly
+	// like a zero-iteration scalar loop.
+	if out, err := est.EstimateAggBatch(nil); err != nil || len(out) != 0 {
+		t.Errorf("empty agg batch: out=%v err=%v", out, err)
+	}
+
+	// The core helper routes through the batch path and must agree too.
+	viaHelper, err := core.EstimateJoins(est, specs)
+	if err != nil {
+		t.Fatalf("core.EstimateJoins: %v", err)
+	}
+	if !reflect.DeepEqual(viaHelper, batch) {
+		t.Error("core.EstimateJoins disagrees with EstimateJoinBatch")
+	}
+}

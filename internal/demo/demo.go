@@ -43,6 +43,22 @@ type Federation struct {
 	Injectors map[string]*faults.Injector
 }
 
+// Statements returns a representative statement mix over the demo tables —
+// scans, an aggregation, and joins spanning systems. cmd/serve pre-plans it
+// with -warm so the plan cache is hot before the first client arrives, and
+// it doubles as a ready-made POST /query/batch payload.
+func Statements() []string {
+	return []string{
+		"SELECT a1 FROM t10000_100 WHERE a1 < 100",
+		"SELECT a1 FROM t80000000_1000 WHERE a1 < 60000000",
+		"SELECT a2, COUNT(*) FROM t1000000_100 GROUP BY a2",
+		"SELECT t1000000_100.a1 FROM t1000000_100 JOIN t100000_100 ON t1000000_100.a1 = t100000_100.a1",
+		"SELECT users.a1 FROM users JOIN events ON users.a1 = events.a1",
+		"SELECT warehouse.a1 FROM warehouse JOIN t10000000_250 ON warehouse.a1 = t10000000_250.a1",
+		"SELECT a1 FROM dim_local",
+	}
+}
+
 // Build constructs the demo federation, discarding the injector handles.
 func Build(cfg Config) (*engine.Engine, error) {
 	fed, err := BuildFederation(cfg)

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"intellisphere/internal/sqlparse"
+)
+
+// BatchItem is one statement's outcome within a query batch: exactly one of
+// Res/Err is set, element-wise identical to what Query would have returned
+// for the statement alone.
+type BatchItem struct {
+	Res *QueryResult
+	Err error
+}
+
+// QueryBatch plans and executes a group of SQL statements, returning one
+// item per statement in order. Results are identical to issuing the
+// statements sequentially through Query; the batch only amortizes the
+// serving overheads:
+//
+//   - statements parse through the statement LRU once per distinct text;
+//   - planning goes through the optimizer's PlanBatch, which consults the
+//     plan cache once per distinct statement shape and pools candidate
+//     estimates into one batched estimator call per (system, operator kind);
+//   - execution still runs per statement, in order, so actual costs,
+//     feedback, and degraded re-planning behave exactly as in the scalar
+//     path.
+//
+// A failed statement (parse, plan, or execution) fails only its own slot.
+func (e *Engine) QueryBatch(ctx context.Context, sqls []string) []BatchItem {
+	out := make([]BatchItem, len(sqls))
+	stmts := make([]*sqlparse.SelectStmt, len(sqls))
+	live := make([]int, 0, len(sqls))
+	batch := make([]*sqlparse.SelectStmt, 0, len(sqls))
+	for i, sql := range sqls {
+		e.queries.Inc()
+		stmt, err := e.parse(sql)
+		if err != nil {
+			e.queryErrors.Inc()
+			out[i].Err = err
+			continue
+		}
+		stmts[i] = stmt
+		live = append(live, i)
+		batch = append(batch, stmt)
+	}
+	planStart := time.Now()
+	plans := e.opt.PlanBatch(batch)
+	e.planHist.Observe(time.Since(planStart))
+	for bi, i := range live {
+		if err := plans[bi].Err; err != nil {
+			e.queryErrors.Inc()
+			out[i].Err = err
+			continue
+		}
+		res, err := e.run(ctx, stmts[i], plans[bi].Plan)
+		if err != nil {
+			e.queryErrors.Inc()
+		}
+		out[i] = BatchItem{Res: res, Err: err}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"intellisphere/internal/cluster"
+	"intellisphere/internal/core/subop"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/remote"
+)
+
+// batchFixture builds one deterministic single-remote federation. Two
+// fixtures built from identical inputs serve identical results, so one can
+// answer a batch while the other answers the same statements sequentially.
+func batchFixture(t *testing.T) *Engine {
+	t.Helper()
+	e := newEngine(t)
+	registerHive(t, e)
+	registerTables(t, e, "hive", ts{10000, 100}, ts{100000, 100}, ts{1000000, 250})
+	if err := e.Materialize("t10000_100"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+var batchSQLs = []string{
+	"SELECT a1 FROM t10000_100 WHERE a1 < 100",
+	"SELECT a2, COUNT(*) FROM t100000_100 GROUP BY a2",
+	"SELECT r.a1 FROM t1000000_250 r JOIN t100000_100 s ON r.a1 = s.a1",
+	"SELECT a1 FROM t10000_100 WHERE a1 < 100", // duplicate of 0
+	"SELECT a1 FROM t100000_100",
+}
+
+// QueryBatch must return, per statement, exactly what sequential Query
+// calls return — plans, estimates, simulated actuals, and rows.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	batched := batchFixture(t)
+	sequential := batchFixture(t)
+
+	items := batched.QueryBatch(context.Background(), batchSQLs)
+	if len(items) != len(batchSQLs) {
+		t.Fatalf("got %d items for %d statements", len(items), len(batchSQLs))
+	}
+	for i, sql := range batchSQLs {
+		want, err := sequential.Query(sql)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", sql, err)
+		}
+		it := items[i]
+		if it.Err != nil {
+			t.Fatalf("batch[%d] (%q): %v", i, sql, it.Err)
+		}
+		if it.Res.Plan.Explain() != want.Plan.Explain() {
+			t.Errorf("statement %d: plans differ\nbatch:\n%s\nsequential:\n%s",
+				i, it.Res.Plan.Explain(), want.Plan.Explain())
+		}
+		if it.Res.ActualSec != want.ActualSec {
+			t.Errorf("statement %d: actual %v, sequential %v", i, it.Res.ActualSec, want.ActualSec)
+		}
+		if len(it.Res.StepActuals) != len(want.StepActuals) {
+			t.Fatalf("statement %d: %d step actuals, sequential %d",
+				i, len(it.Res.StepActuals), len(want.StepActuals))
+		}
+		for j := range want.StepActuals {
+			if it.Res.StepActuals[j] != want.StepActuals[j] {
+				t.Errorf("statement %d step %d: actual %v, sequential %v",
+					i, j, it.Res.StepActuals[j], want.StepActuals[j])
+			}
+		}
+		if (it.Res.Rows == nil) != (want.Rows == nil) {
+			t.Errorf("statement %d: rows presence differs", i)
+		}
+	}
+	if q := batched.Stats().Queries; q != uint64(len(batchSQLs)) {
+		t.Errorf("batch counted %d queries, want %d", q, len(batchSQLs))
+	}
+}
+
+// A failing statement fails only its own slot.
+func TestQueryBatchPerStatementErrors(t *testing.T) {
+	e := batchFixture(t)
+	items := e.QueryBatch(context.Background(), []string{
+		"SELECT a1 FROM t10000_100",
+		"NOT SQL AT ALL",
+		"SELECT a1 FROM missing_table",
+		"SELECT a1 FROM t100000_100",
+	})
+	if items[0].Err != nil || items[3].Err != nil {
+		t.Errorf("healthy statements failed: %v / %v", items[0].Err, items[3].Err)
+	}
+	if items[1].Err == nil || items[2].Err == nil {
+		t.Errorf("bad statements accepted: %v / %v", items[1].Err, items[2].Err)
+	}
+	if e.Stats().QueryErrors != 2 {
+		t.Errorf("query errors = %d, want 2", e.Stats().QueryErrors)
+	}
+}
+
+// Batches from many goroutines share the engine safely (run under -race).
+func TestQueryBatchConcurrent(t *testing.T) {
+	e := batchFixture(t)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 3; i++ {
+				for _, it := range e.QueryBatch(context.Background(), batchSQLs) {
+					if it.Err != nil {
+						done <- it.Err
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := e.Stats().Queries; q != uint64(4*3*len(batchSQLs)) {
+		t.Errorf("queries = %d, want %d", q, 4*3*len(batchSQLs))
+	}
+}
+
+// BenchmarkServeQueryBatch measures the serving-side amortization: the same
+// statement mix answered by N sequential Query calls versus one QueryBatch.
+// The batch path parses once per distinct text, consults the plan cache once
+// per distinct shape, and pools estimator calls per (system, operator kind).
+func BenchmarkServeQueryBatch(b *testing.B) {
+	build := func(b *testing.B) *Engine {
+		b.Helper()
+		e, err := New(Config{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := remote.NewHive("hive", cluster.DefaultHive(), remote.Options{NoiseAmp: 0.01, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := e.RegisterRemoteSubOp(h, remote.EngineHive, subop.InHouseComparable); err != nil {
+			b.Fatal(err)
+		}
+		for _, spec := range []ts{{10000, 100}, {100000, 100}, {1000000, 250}} {
+			tb, err := datagen.Table(spec.rows, spec.size, "hive")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.RegisterTable(tb); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return e
+	}
+	sqls := make([]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		sqls = append(sqls, batchSQLs[i%len(batchSQLs)])
+	}
+	b.Run("sequential", func(b *testing.B) {
+		e := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, sql := range sqls {
+				if _, err := e.Query(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		e := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, it := range e.QueryBatch(context.Background(), sqls) {
+				if it.Err != nil {
+					b.Fatal(it.Err)
+				}
+			}
+		}
+	})
+}

@@ -581,6 +581,13 @@ func (e *Engine) query(ctx context.Context, sql string) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.run(ctx, stmt, p)
+}
+
+// run executes an already built plan for a statement — the shared back half
+// of the scalar and batched query paths: execute-stage timing, and on an
+// infrastructural failure the degraded re-planning loop.
+func (e *Engine) run(ctx context.Context, stmt *sqlparse.SelectStmt, p *optimizer.Plan) (*QueryResult, error) {
 	execStart := time.Now()
 	defer func() { e.executeHist.Observe(time.Since(execStart)) }()
 	res, err := e.execute(ctx, stmt, p)

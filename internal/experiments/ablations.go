@@ -62,7 +62,10 @@ func RunLogOutputAblation(env *Env) (*LogOutputAblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	trainX, trainY, testX, testY := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	trainX, trainY, testX, testY, err := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	d := len(plan.JoinDimNames())
 	res := &LogOutputAblationResult{}
 	// The two target encodings train independently; run both variants
@@ -328,7 +331,10 @@ func RunTopologyAblation(env *Env) (*TopologyAblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	trainX, trainY, testX, testY := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	trainX, trainY, testX, testY, err := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	d := len(plan.AggDimNames())
 	iters := cfg.NNIterations / 2
 	if iters < 100 {

@@ -53,7 +53,10 @@ func RunTrainingSizeCurve(env *Env, fractions []float64) (*TrainingSizeCurveResu
 	if err != nil {
 		return nil, err
 	}
-	trainX, trainY, testX, testY := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	trainX, trainY, testX, testY, err := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	// Approximate per-query training spend from the full run's average.
 	perQuery := run.TotalSec / float64(len(run.Y))
 

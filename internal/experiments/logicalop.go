@@ -83,7 +83,10 @@ func runLogicalOp(env *Env, operator string, run *workload.RunResult, inputDim i
 		TotalTrainSec: run.TotalSec,
 	}
 
-	trainX, trainY, testX, testY := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	trainX, trainY, testX, testY, err := nn.Split(run.X, run.Y, 0.7, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 
 	netCfg := nn.Config{
 		InputDim:   inputDim,

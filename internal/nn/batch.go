@@ -1,0 +1,357 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"intellisphere/internal/parallel"
+)
+
+// batchBlock is the row count of one inference block. It doubles as the
+// cache block: a block's input plane, output plane, and the layer's weight
+// slab all stay resident while the kernel sweeps the block, and every batch
+// entry point (ForwardBatch, PredictAll, rmse, gradient chunks) cuts its
+// work into blocks of at most this many samples. It deliberately equals
+// gradChunk so a training chunk is exactly one block.
+const batchBlock = 64
+
+// arena is the pooled scratch for batch-major inference: one packed
+// row-major input plane plus two ping-pong activation planes. Arenas are
+// reused across batches through the network's pool, so the steady-state
+// batch path performs no per-sample (or per-batch) pool hits or heap
+// allocations.
+type arena struct {
+	in   []float64 // [batchBlock × InputDim], packed row-major inputs
+	a, b []float64 // [batchBlock × maxWidth] ping-pong activation planes
+}
+
+func (n *Network) newArena() *arena {
+	return &arena{
+		in: make([]float64, batchBlock*n.cfg.InputDim),
+		a:  make([]float64, batchBlock*n.maxWidth),
+		b:  make([]float64, batchBlock*n.maxWidth),
+	}
+}
+
+func (n *Network) getArena() *arena   { return n.arenas.Get().(*arena) }
+func (n *Network) putArena(ar *arena) { n.arenas.Put(ar) }
+
+// forwardBlock runs one blocked matmul per layer over the first count rows
+// packed in ar.in and writes the raw network outputs to dst[:count].
+//
+// Determinism contract: for every (sample, neuron) pair the dot product
+// accumulates over the input index in ascending order with the bias as the
+// initial value — exactly the order layer.forward uses — so each output is
+// bit-identical to a per-sample Forward call. The batch-major loop order
+// (neuron outer, sample inner, four samples per sweep) only changes which
+// independent dot products run next to each other: one weight row is loaded
+// once and swept across four samples at a time, so the CPU pipelines four
+// independent accumulation chains instead of stalling on one — each chain
+// still performs its own FP ops in the per-sample order.
+func (n *Network) forwardBlock(ar *arena, count int, dst []float64) {
+	in, inW := ar.in, n.cfg.InputDim
+	cur, nxt := ar.a, ar.b
+	for li := range n.layers {
+		l := &n.layers[li]
+		outW := l.out
+		// 2×4 register tile: two weight rows sweep four samples at once, so
+		// each input load feeds two FMA chains and the slice setup amortizes
+		// over both dot products. Eight accumulators give the CPU eight
+		// independent chains to pipeline.
+		o := 0
+		for ; o+2 <= outW; o += 2 {
+			r0 := l.w[o*inW : (o+1)*inW]
+			r1 := l.w[(o+1)*inW : (o+2)*inW]
+			b0, b1 := l.b[o], l.b[o+1]
+			s := 0
+			for ; s+4 <= count; s += 4 {
+				// The re-slices pin each row to len(r0) elements so the
+				// compiler drops the bounds checks inside the hot loop.
+				x0 := in[s*inW:][:len(r0)]
+				x1 := in[(s+1)*inW:][:len(r0)]
+				x2 := in[(s+2)*inW:][:len(r0)]
+				x3 := in[(s+3)*inW:][:len(r0)]
+				a0, a1, a2, a3 := b0, b0, b0, b0
+				c0, c1, c2, c3 := b1, b1, b1, b1
+				for i, w0 := range r0 {
+					w1 := r1[i]
+					v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
+					a0 += w0 * v0
+					a1 += w0 * v1
+					a2 += w0 * v2
+					a3 += w0 * v3
+					c0 += w1 * v0
+					c1 += w1 * v1
+					c2 += w1 * v2
+					c3 += w1 * v3
+				}
+				base := s*outW + o
+				cur[base] = a0
+				cur[base+1] = c0
+				cur[base+outW] = a1
+				cur[base+outW+1] = c1
+				cur[base+2*outW] = a2
+				cur[base+2*outW+1] = c2
+				cur[base+3*outW] = a3
+				cur[base+3*outW+1] = c3
+			}
+			for ; s < count; s++ {
+				x := in[s*inW:][:len(r0)]
+				s0, s1 := b0, b1
+				for i, w0 := range r0 {
+					v := x[i]
+					s0 += w0 * v
+					s1 += r1[i] * v
+				}
+				cur[s*outW+o] = s0
+				cur[s*outW+o+1] = s1
+			}
+		}
+		// Remainder neuron for odd layer widths (incl. the 1-wide output).
+		for ; o < outW; o++ {
+			row := l.w[o*inW : (o+1)*inW]
+			bias := l.b[o]
+			s := 0
+			for ; s+4 <= count; s += 4 {
+				x0 := in[s*inW:][:len(row)]
+				x1 := in[(s+1)*inW:][:len(row)]
+				x2 := in[(s+2)*inW:][:len(row)]
+				x3 := in[(s+3)*inW:][:len(row)]
+				s0, s1, s2, s3 := bias, bias, bias, bias
+				for i, w := range row {
+					s0 += w * x0[i]
+					s1 += w * x1[i]
+					s2 += w * x2[i]
+					s3 += w * x3[i]
+				}
+				base := s*outW + o
+				cur[base] = s0
+				cur[base+outW] = s1
+				cur[base+2*outW] = s2
+				cur[base+3*outW] = s3
+			}
+			for ; s < count; s++ {
+				x := in[s*inW : s*inW+inW]
+				sum := bias
+				for i, w := range row {
+					sum += w * x[i]
+				}
+				cur[s*outW+o] = sum
+			}
+		}
+		applyPlane(l.act, cur[:count*outW])
+		in, inW = cur, outW
+		cur, nxt = nxt, cur
+	}
+	// The output layer is a single linear neuron, so the final plane has
+	// stride 1.
+	copy(dst[:count], in[:count])
+}
+
+// applyPlane applies an activation element-wise over a whole pre-activation
+// plane. Each element gets exactly the same scalar call apply would make, so
+// values are bit-identical to the per-sample path; hoisting the activation
+// switch out of the kernel's inner loop just removes a per-element branch.
+func applyPlane(act Activation, plane []float64) {
+	switch act {
+	case Tanh:
+		for j, v := range plane {
+			plane[j] = math.Tanh(v)
+		}
+	case ReLU:
+		// Mirror apply exactly: x ≤ 0 (including −0.0) becomes +0.0.
+		for j, v := range plane {
+			if v > 0 {
+				plane[j] = v
+			} else {
+				plane[j] = 0
+			}
+		}
+	case Sigmoid:
+		for j, v := range plane {
+			plane[j] = 1 / (1 + math.Exp(-v))
+		}
+	}
+}
+
+// packRows gathers input vectors into the arena's contiguous plane.
+func (n *Network) packRows(ar *arena, xs [][]float64) {
+	d := n.cfg.InputDim
+	for s, row := range xs {
+		copy(ar.in[s*d:(s+1)*d], row)
+	}
+}
+
+// ForwardBatch runs inference over a batch of (already normalized) input
+// vectors, writing the raw network outputs into dst (allocated when nil) and
+// returning it. Outputs are bit-identical to calling Forward per row; the
+// batch path just packs rows into a pooled arena and runs one blocked
+// matmul per layer per block instead of paying a pool round-trip and a
+// per-layer dispatch per sample. It is safe for concurrent use.
+func (n *Network) ForwardBatch(xs [][]float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(xs))
+	}
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("nn: ForwardBatch dst holds %d outputs for %d inputs", len(dst), len(xs)))
+	}
+	for i, row := range xs {
+		if len(row) != n.cfg.InputDim {
+			panic(fmt.Sprintf("nn: ForwardBatch row %d has %d inputs on a %d-input network", i, len(row), n.cfg.InputDim))
+		}
+	}
+	ar := n.getArena()
+	for lo := 0; lo < len(xs); lo += batchBlock {
+		hi := lo + batchBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		n.packRows(ar, xs[lo:hi])
+		n.forwardBlock(ar, hi-lo, dst[lo:hi])
+	}
+	n.putArena(ar)
+	return dst
+}
+
+// forwardAll fans batched inference out across the worker pool: each block
+// owns its slice of dst, so the result is identical at any worker count.
+func (n *Network) forwardAll(workers int, xs [][]float64, dst []float64) {
+	blocks := (len(xs) + batchBlock - 1) / batchBlock
+	parallel.ForEachN(workers, blocks, func(bi int) {
+		lo := bi * batchBlock
+		hi := lo + batchBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		ar := n.getArena()
+		n.packRows(ar, xs[lo:hi])
+		n.forwardBlock(ar, hi-lo, dst[lo:hi])
+		n.putArena(ar)
+	})
+}
+
+// trainArena is the per-worker batch-major scratch for gradient
+// accumulation: the gathered input plane plus one activation and one delta
+// plane per layer, each sized for a full gradient chunk. A worker slot
+// allocates its arena once and reuses it for every chunk it processes.
+type trainArena struct {
+	in     []float64   // [gradChunk × InputDim] gathered chunk inputs
+	acts   [][]float64 // per layer, [gradChunk × layer.out]
+	deltas [][]float64 // per layer, [gradChunk × layer.out]
+}
+
+func newTrainArena(n *Network) *trainArena {
+	ar := &trainArena{
+		in:     make([]float64, gradChunk*n.cfg.InputDim),
+		acts:   make([][]float64, len(n.layers)),
+		deltas: make([][]float64, len(n.layers)),
+	}
+	total := 0
+	for i := range n.layers {
+		total += n.layers[i].out
+	}
+	slab := make([]float64, 2*gradChunk*total)
+	off := 0
+	for i := range n.layers {
+		w := gradChunk * n.layers[i].out
+		ar.acts[i] = slab[off : off+w : off+w]
+		off += w
+		ar.deltas[i] = slab[off : off+w : off+w]
+		off += w
+	}
+	return ar
+}
+
+// accumulateBatch adds the squared-error gradients of the samples x[idxs]
+// into grads using batch-major kernels. The caller zeroes grads before the
+// chunk, so every accumulator starts at 0 and each weight's additions happen
+// in ascending sample order — the same floating-point sequence as calling
+// accumulate per sample — which keeps trained weights bit-identical to the
+// per-sample path (regression-tested in batch_test.go).
+func (n *Network) accumulateBatch(x [][]float64, y []float64, idxs []int, ar *trainArena, grads *gradients) {
+	count := len(idxs)
+	d := n.cfg.InputDim
+	for s, idx := range idxs {
+		copy(ar.in[s*d:(s+1)*d], x[idx])
+	}
+
+	// Forward pass, storing every layer's activations batch-major.
+	in, inW := ar.in, d
+	for li := range n.layers {
+		l := &n.layers[li]
+		outW := l.out
+		out := ar.acts[li]
+		for o := 0; o < outW; o++ {
+			row := l.w[o*inW : (o+1)*inW]
+			bias := l.b[o]
+			act := l.act
+			for s := 0; s < count; s++ {
+				xr := in[s*inW : s*inW+inW]
+				sum := bias
+				for i, v := range xr {
+					sum += row[i] * v
+				}
+				out[s*outW+o] = act.apply(sum)
+			}
+		}
+		in, inW = out, outW
+	}
+
+	// Output-layer deltas: d(0.5·(out−y)²)/d(pre-act) with identity output.
+	last := len(n.layers) - 1
+	outActs := ar.acts[last]
+	outDeltas := ar.deltas[last]
+	for s, idx := range idxs {
+		outDeltas[s] = outActs[s] - y[idx]
+	}
+
+	// Backpropagate through hidden layers. Each (sample, neuron) delta is an
+	// independent dot product over the next layer's neurons in ascending
+	// order — the order accumulate uses.
+	for li := last - 1; li >= 0; li-- {
+		next := &n.layers[li+1]
+		act := n.layers[li].act
+		w := n.layers[li].out
+		cur := ar.deltas[li]
+		acts := ar.acts[li]
+		nextDeltas := ar.deltas[li+1]
+		for s := 0; s < count; s++ {
+			base := s * w
+			nd := nextDeltas[s*next.out : (s+1)*next.out]
+			for o := 0; o < w; o++ {
+				sum := 0.0
+				for no, dv := range nd {
+					sum += next.w[no*next.in+o] * dv
+				}
+				cur[base+o] = sum * act.derivative(acts[base+o])
+			}
+		}
+	}
+
+	// Accumulate weight/bias gradients. Per accumulator the additions run in
+	// ascending sample order (grads was zeroed for this chunk), matching the
+	// per-sample loop bit-for-bit; batching just keeps one gradient row hot
+	// while the whole block streams through it.
+	for li := range n.layers {
+		l := &n.layers[li]
+		inPlane, inW := ar.in, d
+		if li > 0 {
+			inPlane, inW = ar.acts[li-1], n.layers[li-1].out
+		}
+		dW := grads.w[li]
+		dB := grads.b[li]
+		deltas := ar.deltas[li]
+		outW := l.out
+		for o := 0; o < outW; o++ {
+			row := dW[o*l.in : (o+1)*l.in]
+			for s := 0; s < count; s++ {
+				dlt := deltas[s*outW+o]
+				dB[o] += dlt
+				xr := inPlane[s*inW : s*inW+inW]
+				for i, v := range xr {
+					row[i] += dlt * v
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// batchTestData builds a small deterministic dataset with count samples of
+// the given width.
+func batchTestData(count, dim int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, count)
+	y := make([]float64, count)
+	for i := range x {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		y[i] = 0.4*row[0] + row[1]*row[dim-1]
+	}
+	return x, y
+}
+
+// ForwardBatch must be bit-identical to per-sample Forward, including on
+// batch sizes that don't divide evenly into blocks.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	n, err := New(Config{InputDim: 5, Hidden: []int{9, 4}, Activation: Tanh, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{1, 3, batchBlock - 1, batchBlock, batchBlock + 1, 3*batchBlock + 17} {
+		x, _ := batchTestData(count, 5, int64(count))
+		got := n.ForwardBatch(x, nil)
+		for i, row := range x {
+			if want := n.Forward(row); got[i] != want {
+				t.Fatalf("count=%d: ForwardBatch[%d] = %v, Forward = %v", count, i, got[i], want)
+			}
+		}
+	}
+}
+
+// trainReference reruns Train's exact schedule (same shuffle, same optimizer
+// steps) but accumulates gradients one sample at a time through the
+// per-sample accumulate path — the pre-batch-kernel behavior the batch
+// kernels must reproduce bit-for-bit.
+func trainReference(t *testing.T, x [][]float64, y []float64, tc TrainConfig) []byte {
+	t.Helper()
+	n, err := New(Config{InputDim: len(x[0]), Hidden: []int{6, 3}, Activation: Tanh, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := tc.LearningRate
+	if lr == 0 {
+		lr = 0.01
+	}
+	batch := tc.BatchSize
+	if batch == 0 || batch > len(x) {
+		batch = len(x)
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	grads := newGradients(n)
+	chunkGrads := newGradients(n)
+	sc := newActivations(n)
+	vel := newGradients(n)
+	adamM := newGradients(n)
+	adamV := newGradients(n)
+	adamT := 0
+	for iter := 1; iter <= tc.Iterations; iter++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			idxs := order[start:end]
+			grads.zero()
+			// Chunked exactly like Train: per-chunk private buffers reduced
+			// in ascending chunk order.
+			for cs := 0; cs < len(idxs); cs += gradChunk {
+				ce := cs + gradChunk
+				if ce > len(idxs) {
+					ce = len(idxs)
+				}
+				chunkGrads.zero()
+				for _, idx := range idxs[cs:ce] {
+					n.accumulate(x[idx], y[idx], sc, chunkGrads)
+				}
+				grads.add(chunkGrads)
+			}
+			scale := 1 / float64(end-start)
+			switch tc.Optimizer {
+			case Adam:
+				adamT++
+				n.stepAdam(grads, adamM, adamV, adamT, lr, scale)
+			default:
+				n.stepSGD(grads, vel, tc.Momentum, lr, scale)
+			}
+		}
+	}
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The batch gradient kernel must produce weights bit-identical to the
+// per-sample reference path, at any worker count and for batch sizes that
+// leave partial chunks.
+func TestTrainBatchMatchesPerSampleExactly(t *testing.T) {
+	x, y := batchTestData(300, 3, 6)
+	for _, tc := range []TrainConfig{
+		{Iterations: 40, Optimizer: Adam, Seed: 4},                              // full batch, several chunks
+		{Iterations: 40, Optimizer: SGD, Momentum: 0.9, Seed: 4, BatchSize: 50}, // partial chunks
+		{Iterations: 25, Optimizer: Adam, Seed: 9, BatchSize: 7},                // sub-chunk batches
+	} {
+		want := trainReference(t, x, y, tc)
+		for _, workers := range []int{1, 4} {
+			n, err := New(Config{InputDim: 3, Hidden: []int{6, 3}, Activation: Tanh, Seed: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := tc
+			run.Workers = workers
+			if _, err := n.Train(x, y, run); err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("cfg=%+v workers=%d: batch-kernel weights differ from per-sample reference", tc, workers)
+			}
+		}
+	}
+}
+
+// PredictAll must match per-row Predict bit-for-bit (it shares the batch
+// kernel with ForwardBatch but adds normalization in and out).
+func TestPredictAllMatchesPredict(t *testing.T) {
+	x, y := batchTestData(150, 4, 3)
+	reg, _, err := TrainRegressor(x, y, RegressorConfig{
+		Network:   Config{InputDim: 4, Hidden: []int{8, 4}, Activation: Tanh, Seed: 2},
+		Train:     TrainConfig{Iterations: 20, Optimizer: Adam, Seed: 2},
+		LogOutput: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reg.PredictAll(x)
+	for i, row := range x {
+		if want := reg.Predict(row); got[i] != want {
+			t.Fatalf("PredictAll[%d] = %v, Predict = %v", i, got[i], want)
+		}
+	}
+}
+
+func TestSplitGuards(t *testing.T) {
+	x, y := batchTestData(10, 2, 1)
+	cases := []struct {
+		name    string
+		x       [][]float64
+		y       []float64
+		frac    float64
+		wantErr bool
+	}{
+		{"valid", x, y, 0.7, false},
+		{"frac zero", x, y, 0, true},
+		{"frac one", x, y, 1, true},
+		{"frac negative", x, y, -0.3, true},
+		{"frac above one", x, y, 1.5, true},
+		{"frac NaN", x, y, nan(), true},
+		{"length mismatch", x, y[:5], 0.7, true},
+		{"single sample", x[:1], y[:1], 0.7, true},
+		{"empty", nil, nil, 0.7, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tx, ty, sx, sy, err := Split(c.x, c.y, c.frac, 3)
+			if c.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(tx) == 0 || len(sx) == 0 || len(tx) != len(ty) || len(sx) != len(sy) {
+				t.Fatalf("bad split shapes: %d/%d train, %d/%d test", len(tx), len(ty), len(sx), len(sy))
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestShuffledIndicesGuards(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		wantLen int
+		wantErr bool
+	}{
+		{"negative", -1, 0, true},
+		{"very negative", -100, 0, true},
+		{"zero", 0, 0, false},
+		{"one", 1, 1, false},
+		{"many", 17, 17, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			order, err := shuffledIndices(c.n, 9)
+			if c.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(order) != c.wantLen {
+				t.Fatalf("len = %d, want %d", len(order), c.wantLen)
+			}
+			seen := make(map[int]bool, len(order))
+			for _, idx := range order {
+				if idx < 0 || idx >= c.n || seen[idx] {
+					t.Fatalf("order %v is not a permutation of [0,%d)", order, c.n)
+				}
+				seen[idx] = true
+			}
+		})
+	}
+}

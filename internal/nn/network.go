@@ -156,6 +156,10 @@ type Network struct {
 	// scratch pools forward-pass activation buffers so Forward allocates
 	// nothing in steady state yet stays safe under concurrent callers.
 	scratch sync.Pool
+	// arenas pools batch-major inference scratch (see batch.go) so the
+	// batched paths reuse whole planes across batches instead of taking a
+	// pool hit per sample.
+	arenas sync.Pool
 }
 
 // New constructs a network with randomly initialized weights drawn from the
@@ -188,6 +192,7 @@ func (n *Network) initScratch() {
 		buf := make([]float64, 2*width)
 		return &buf
 	}
+	n.arenas.New = func() any { return n.newArena() }
 }
 
 // Config returns the network's configuration.

@@ -323,8 +323,14 @@ func TestSplitDeterministicAndComplete(t *testing.T) {
 		x[i] = []float64{float64(i)}
 		y[i] = float64(i)
 	}
-	tx1, ty1, sx1, sy1 := Split(x, y, 0.7, 5)
-	tx2, _, _, _ := Split(x, y, 0.7, 5)
+	tx1, ty1, sx1, sy1, err := Split(x, y, 0.7, 5)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	tx2, _, _, _, err := Split(x, y, 0.7, 5)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
 	if len(tx1) != 70 || len(sx1) != 30 {
 		t.Fatalf("split sizes = %d/%d, want 70/30", len(tx1), len(sx1))
 	}

@@ -87,16 +87,23 @@ func (nm *Normalizer) untarget(t float64) float64 {
 // the learned range extrapolate linearly past the bounds (this is exactly
 // the regime where the paper shows raw networks degrade).
 func (nm *Normalizer) In(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return nm.InTo(make([]float64, 0, len(x)), x)
+}
+
+// InTo is the append-into variant of In: normalized values are appended to
+// dst (reusing its capacity) and the extended slice is returned. Batch paths
+// use it to normalize straight into pooled scratch without a per-row
+// allocation.
+func (nm *Normalizer) InTo(dst []float64, x []float64) []float64 {
 	for i, v := range x {
 		span := nm.InMax[i] - nm.InMin[i]
 		if span == 0 {
-			out[i] = 0
+			dst = append(dst, 0)
 			continue
 		}
-		out[i] = (v - nm.InMin[i]) / span
+		dst = append(dst, (v-nm.InMin[i])/span)
 	}
-	return out
+	return dst
 }
 
 // Out normalizes a raw target.
@@ -157,13 +164,34 @@ func (r *Regressor) Predict(x []float64) float64 {
 	return r.Norm.Inverse(r.Net.Forward(r.Norm.In(x)))
 }
 
-// PredictAll evaluates the regressor over a dataset. Samples fan out across
-// the worker pool; each writes only its own output slot, so the result is
-// identical to a serial loop.
+// PredictAll evaluates the regressor over a dataset through the batch-major
+// kernels: blocks fan out across the worker pool, each normalizing its rows
+// straight into a pooled arena (no per-row allocations) and running one
+// blocked matmul per layer. Each block writes only its own slice of the
+// output, so the result is identical to calling Predict per row.
 func (r *Regressor) PredictAll(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	parallel.ForEach(len(x), func(i int) {
-		out[i] = r.Predict(x[i])
+	n := r.Net
+	d := n.cfg.InputDim
+	blocks := (len(x) + batchBlock - 1) / batchBlock
+	parallel.ForEach(blocks, func(bi int) {
+		lo := bi * batchBlock
+		hi := lo + batchBlock
+		if hi > len(x) {
+			hi = len(x)
+		}
+		ar := n.getArena()
+		for s, row := range x[lo:hi] {
+			if len(row) != d {
+				panic(fmt.Sprintf("nn: PredictAll row %d has %d inputs on a %d-input network", lo+s, len(row), d))
+			}
+			r.Norm.InTo(ar.in[s*d:s*d], row)
+		}
+		n.forwardBlock(ar, hi-lo, out[lo:hi])
+		n.putArena(ar)
+		for i := lo; i < hi; i++ {
+			out[i] = r.Norm.Inverse(out[i])
+		}
 	})
 	return out
 }
@@ -233,7 +261,10 @@ func SearchTopology(x [][]float64, y []float64, base RegressorConfig) (Config, [
 		return Config{}, nil, errors.New("nn: topology search needs at least 10 samples")
 	}
 	d := base.Network.InputDim
-	trainX, trainY, testX, testY := Split(x, y, 0.7, base.Network.Seed)
+	trainX, trainY, testX, testY, err := Split(x, y, 0.7, base.Network.Seed)
+	if err != nil {
+		return Config{}, nil, err
+	}
 
 	// Enumerate every candidate topology first, then train them across the
 	// worker pool: each candidate is an independent training run, and the
@@ -280,9 +311,22 @@ func SearchTopology(x [][]float64, y []float64, base RegressorConfig) (Config, [
 }
 
 // Split partitions a dataset into train/test shares deterministically. frac
-// is the training share in (0,1).
-func Split(x [][]float64, y []float64, frac float64, seed int64) (trainX [][]float64, trainY []float64, testX [][]float64, testY []float64) {
-	order := shuffledIndices(len(x), seed)
+// is the training share and must lie strictly inside (0,1); the dataset
+// needs at least two samples so both shares end up non-empty.
+func Split(x [][]float64, y []float64, frac float64, seed int64) (trainX [][]float64, trainY []float64, testX [][]float64, testY []float64, err error) {
+	if len(x) != len(y) {
+		return nil, nil, nil, nil, stats.ErrLengthMismatch
+	}
+	if len(x) < 2 {
+		return nil, nil, nil, nil, fmt.Errorf("nn: Split needs at least 2 samples, got %d", len(x))
+	}
+	if !(frac > 0 && frac < 1) {
+		return nil, nil, nil, nil, fmt.Errorf("nn: Split frac %v must lie in (0,1)", frac)
+	}
+	order, err := shuffledIndices(len(x), seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	cut := int(frac * float64(len(x)))
 	if cut < 1 {
 		cut = 1
@@ -299,10 +343,13 @@ func Split(x [][]float64, y []float64, frac float64, seed int64) (trainX [][]flo
 			testY = append(testY, y[idx])
 		}
 	}
-	return trainX, trainY, testX, testY
+	return trainX, trainY, testX, testY, nil
 }
 
-func shuffledIndices(n int, seed int64) []int {
+func shuffledIndices(n int, seed int64) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("nn: shuffledIndices with negative count %d", n)
+	}
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -317,5 +364,5 @@ func shuffledIndices(n int, seed int64) []int {
 		j := int(s % uint64(i+1))
 		order[i], order[j] = order[j], order[i]
 	}
-	return order
+	return order, nil
 }

@@ -96,11 +96,11 @@ func (g *gradients) add(o *gradients) {
 }
 
 // gradWorker is the per-chunk accumulation state: a private gradient buffer
-// plus forward/backward scratch. Everything is allocated once per worker
-// slot, so the per-sample path allocates nothing.
+// plus a batch-major forward/backward arena. Everything is allocated once per
+// worker slot, so processing a chunk allocates nothing.
 type gradWorker struct {
 	grads *gradients
-	acts  *activations
+	arena *trainArena
 }
 
 // Train fits the network on (x, y) with mean-squared-error loss. Inputs are
@@ -155,9 +155,22 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 	if workers <= 0 {
 		workers = parallel.Workers()
 	}
-	newWorker := func() *gradWorker {
-		return &gradWorker{grads: newGradients(n), acts: newActivations(n)}
+
+	// The reducer and its worker states (gradient buffers + batch arenas) are
+	// built once for the whole run, and the four callbacks are hoisted out of
+	// the batch loop — only the idxs variable they capture is reassigned per
+	// batch — so the steady-state training loop performs zero heap
+	// allocations and spawns no goroutines per mini-batch.
+	red := parallel.NewReducer(batch, gradChunk, workers, func() *gradWorker {
+		return &gradWorker{grads: newGradients(n), arena: newTrainArena(n)}
+	})
+	defer red.Close()
+	var idxs []int
+	reset := func(w *gradWorker) { w.grads.zero() }
+	process := func(w *gradWorker, cs, ce int) {
+		n.accumulateBatch(x, y, idxs[cs:ce], w.arena, w.grads)
 	}
+	reduce := func(w *gradWorker) { grads.add(w.grads) }
 
 	res := &TrainResult{}
 	for iter := 1; iter <= tc.Iterations; iter++ {
@@ -167,18 +180,9 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 			if end > len(order) {
 				end = len(order)
 			}
-			idxs := order[start:end]
+			idxs = order[start:end]
 			grads.zero()
-			parallel.MapReduce(len(idxs), gradChunk, workers,
-				newWorker,
-				func(w *gradWorker) { w.grads.zero() },
-				func(w *gradWorker, cs, ce int) {
-					for _, idx := range idxs[cs:ce] {
-						n.accumulate(x[idx], y[idx], w.acts, w.grads)
-					}
-				},
-				func(w *gradWorker) { grads.add(w.grads) },
-			)
+			red.Run(len(idxs), reset, process, reduce)
 			scale := 1 / float64(end-start)
 			switch tc.Optimizer {
 			case Adam:
@@ -196,7 +200,10 @@ func (n *Network) Train(x [][]float64, y []float64, tc TrainConfig) (*TrainResul
 	return res, nil
 }
 
-// accumulate adds the gradient of the squared error at (xi, yi) into grads.
+// accumulate adds the gradient of the squared error at (xi, yi) into grads,
+// one sample at a time. The training loop itself runs accumulateBatch (see
+// batch.go); this per-sample form is kept as the bit-identity reference the
+// batch kernel is regression-tested against.
 func (n *Network) accumulate(xi []float64, yi float64, sc *activations, grads *gradients) {
 	out := n.forwardStore(xi, sc.acts)
 	last := len(n.layers) - 1
@@ -283,15 +290,13 @@ func (n *Network) stepAdam(grads, m, v *gradients, t int, lr, scale float64) {
 	}
 }
 
-// rmse computes the network's RMSE over a normalized dataset. Predictions
-// fan out across the pool (each sample owns its output slot); the squared
-// errors are then summed serially in index order, keeping the value
-// independent of the worker count.
+// rmse computes the network's RMSE over a normalized dataset. Batched
+// predictions fan out across the pool (each block owns its slice of the
+// output); the squared errors are then summed serially in index order,
+// keeping the value independent of the worker count.
 func (n *Network) rmse(x [][]float64, y []float64, workers int) float64 {
 	pred := make([]float64, len(x))
-	parallel.ForEachN(workers, len(x), func(i int) {
-		pred[i] = n.Forward(x[i])
-	})
+	n.forwardAll(workers, x, pred)
 	ss := 0.0
 	for i := range pred {
 		d := pred[i] - y[i]

@@ -1,0 +1,253 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"intellisphere/internal/core"
+	"intellisphere/internal/plan"
+	"intellisphere/internal/querygrid"
+	"intellisphere/internal/sqlparse"
+)
+
+// PlanResult pairs one statement of a batch with its plan or error.
+type PlanResult struct {
+	Plan *Plan
+	Err  error
+}
+
+// pendingStmt is one cache-missed scan or aggregation statement awaiting
+// grouped estimation. Exactly one of scan/agg is set; ests aligns with the
+// input's candidate-system order.
+type pendingStmt struct {
+	idx  int
+	key  string
+	stmt *sqlparse.SelectStmt
+	scan *scanInput
+	agg  *aggInput
+	ests []core.Estimate
+	// bad marks a statement whose estimate group failed; it re-plans through
+	// the scalar path so its own error (or success) is exactly what
+	// sequential planning would have produced.
+	bad bool
+}
+
+// specRef addresses one (statement, candidate-system) estimate slot inside a
+// per-system group.
+type specRef struct {
+	p   *pendingStmt
+	pos int
+}
+
+// PlanBatch plans a group of statements together, returning one result per
+// statement. Every plan is identical to what Plan would build for that
+// statement alone; the batch only changes how the work is organized:
+//
+//   - the plan cache and the generation vector are consulted once per
+//     distinct statement shape (duplicates share one plan, like cache hits);
+//   - single-table scan and aggregation statements pool their candidate
+//     placements per system, so each estimator sees one batched call per
+//     operator kind (core.EstimateScans/EstimateAggs) instead of one call
+//     per statement — the batched serving path's estimator amortization;
+//   - join statements fall back to the scalar planner per statement (the
+//     greedy chain interleaves transfers and estimates, so there is no
+//     cross-statement grouping to exploit).
+//
+// A failed group estimate re-plans each affected statement through the
+// scalar path, so per-statement errors match sequential planning.
+func (o *Optimizer) PlanBatch(stmts []*sqlparse.SelectStmt) []PlanResult {
+	out := make([]PlanResult, len(stmts))
+	if o.Catalog == nil || o.Grid == nil || o.Estimators == nil || o.Estimators.Len() == 0 {
+		err := fmt.Errorf("optimizer: catalog, grid, and estimators are required")
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	if _, ok := o.Estimators.Get(querygrid.Master); !ok {
+		err := fmt.Errorf("optimizer: no estimator registered for the master %q", querygrid.Master)
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	var gen uint64
+	if o.Cache != nil {
+		gen = o.generation()
+	}
+	done := func(i int, key string, p *Plan, err error) {
+		out[i] = PlanResult{Plan: p, Err: err}
+		if err == nil && o.Cache != nil {
+			o.Cache.put(key, gen, p)
+		}
+	}
+
+	// Deduplicate by normalized statement shape: repeats share one plan,
+	// exactly as the plan cache would serve them.
+	firstOf := make(map[string]int, len(stmts))
+	dup := make([]int, len(stmts))
+	var pend []*pendingStmt
+	for i, stmt := range stmts {
+		dup[i] = i
+		if stmt == nil {
+			out[i].Err = fmt.Errorf("optimizer: nil statement")
+			continue
+		}
+		key := stmt.String()
+		if j, ok := firstOf[key]; ok {
+			dup[i] = j
+			continue
+		}
+		firstOf[key] = i
+		if o.Cache != nil {
+			if p, ok := o.Cache.get(key, gen); ok {
+				out[i].Plan = p
+				continue
+			}
+		}
+		a, err := analyze(stmt, o.Catalog)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		switch {
+		case len(stmt.Joins) > 0:
+			p, err := o.planUncached(stmt, nil)
+			done(i, key, p, err)
+		case stmt.HasAggregates() || len(stmt.GroupBy) > 0:
+			in, err := o.aggInputFor(a)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			pend = append(pend, &pendingStmt{idx: i, key: key, stmt: stmt,
+				agg: &in, ests: make([]core.Estimate, len(in.systems))})
+		default:
+			in, err := o.scanInputFor(a)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			pend = append(pend, &pendingStmt{idx: i, key: key, stmt: stmt,
+				scan: &in, ests: make([]core.Estimate, len(in.systems))})
+		}
+	}
+
+	// Pool candidate placements per (system, operator kind): every statement
+	// contributes one spec per candidate system, and each group resolves
+	// with a single batched estimator call.
+	scanGroups := map[string][]specRef{}
+	aggGroups := map[string][]specRef{}
+	for _, p := range pend {
+		if p.scan != nil {
+			for pos, sys := range p.scan.systems {
+				scanGroups[sys] = append(scanGroups[sys], specRef{p: p, pos: pos})
+			}
+		} else {
+			for pos, sys := range p.agg.systems {
+				aggGroups[sys] = append(aggGroups[sys], specRef{p: p, pos: pos})
+			}
+		}
+	}
+	for _, sys := range sortedKeys(scanGroups) {
+		refs := scanGroups[sys]
+		specs := make([]plan.ScanSpec, len(refs))
+		for i, r := range refs {
+			specs[i] = r.p.scan.spec
+		}
+		o.resolveGroup(sys, refs, func(est core.Estimator) ([]core.Estimate, error) {
+			return core.EstimateScans(est, specs)
+		})
+	}
+	for _, sys := range sortedKeys(aggGroups) {
+		refs := aggGroups[sys]
+		specs := make([]plan.AggSpec, len(refs))
+		for i, r := range refs {
+			specs[i] = r.p.agg.spec
+		}
+		o.resolveGroup(sys, refs, func(est core.Estimator) ([]core.Estimate, error) {
+			return core.EstimateAggs(est, specs)
+		})
+	}
+
+	// Assemble each pending statement's candidates from the pooled estimates
+	// and select exactly as the scalar sweep would.
+	for _, p := range pend {
+		if p.bad {
+			pl, err := o.planUncached(p.stmt, nil)
+			done(p.idx, p.key, pl, err)
+			continue
+		}
+		var (
+			pl  *Plan
+			err error
+		)
+		if p.scan != nil {
+			pl, err = o.assemble(p.scan.systems, p.ests, p.scan.spec.OutputRows(), p.scan.proj,
+				func(sys string, ce core.Estimate) (candidate, error) {
+					return o.scanCandidate(*p.scan, sys, ce)
+				})
+		} else {
+			pl, err = o.assemble(p.agg.systems, p.ests, p.agg.spec.OutputRows, p.agg.spec.OutputRowSize,
+				func(sys string, ce core.Estimate) (candidate, error) {
+					return o.aggCandidate(*p.agg, sys, ce)
+				})
+		}
+		if err == nil {
+			pl, err = o.finishPlan(p.stmt, pl)
+		}
+		done(p.idx, p.key, pl, err)
+	}
+
+	// Duplicates share the representative's result (plans are immutable).
+	for i, j := range dup {
+		if i != j {
+			out[i] = out[j]
+		}
+	}
+	return out
+}
+
+// resolveGroup runs one batched estimator call for a per-system group and
+// scatters the estimates back into each statement's slot. Any failure —
+// missing estimator or a failed batch — marks every member statement for
+// scalar re-planning instead of failing the group wholesale.
+func (o *Optimizer) resolveGroup(sys string, refs []specRef, batch func(core.Estimator) ([]core.Estimate, error)) {
+	est, err := o.estimator(sys)
+	if err == nil {
+		var ests []core.Estimate
+		if ests, err = batch(est); err == nil {
+			for i, r := range refs {
+				r.p.ests[r.pos] = ests[i]
+			}
+			return
+		}
+	}
+	for _, r := range refs {
+		r.p.bad = true
+	}
+}
+
+// assemble builds the candidate sweep from precomputed estimates and picks
+// the best placement, mirroring the scalar planScan/planAgg selection.
+func (o *Optimizer) assemble(systems []string, ests []core.Estimate, outRows, outSize float64,
+	build func(string, core.Estimate) (candidate, error)) (*Plan, error) {
+	cands := make([]candidate, len(systems))
+	for pos, sys := range systems {
+		c, err := build(sys, ests[pos])
+		if err != nil {
+			return nil, err
+		}
+		cands[pos] = c
+	}
+	return pickBest(cands, outRows, outSize), nil
+}
+
+func sortedKeys(m map[string][]specRef) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -279,65 +279,99 @@ func pickBest(cands []candidate, outRows, outSize float64) *Plan {
 	return p
 }
 
-// planScan places a single-table filter/project.
-func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
+// scanInput is everything a scan placement sweep needs, shared between the
+// single-statement path and the grouped batch path.
+type scanInput struct {
+	owner   string
+	rows    float64 // base table cardinality
+	rowSize float64
+	sel     float64
+	proj    float64
+	spec    plan.ScanSpec
+	systems []string // candidate placements, in sweep order
+}
+
+// scanInputFor derives the scan spec and its candidate placements.
+func (o *Optimizer) scanInputFor(a *analyzed) (scanInput, error) {
 	b := a.order[0]
 	t := a.bindings[b]
 	owner, err := a.systemOf(b)
 	if err != nil {
-		return nil, err
+		return scanInput{}, err
 	}
 	sel, err := a.sideSelectivity(b)
 	if err != nil {
-		return nil, err
+		return scanInput{}, err
 	}
 	proj, err := a.projectedSize(b)
 	if err != nil {
-		return nil, err
+		return scanInput{}, err
 	}
-	spec := plan.ScanSpec{
-		InputRows:     float64(t.Rows),
-		InputRowSize:  float64(t.RowSize()),
-		Selectivity:   sel,
-		OutputRowSize: proj,
+	return scanInput{
+		owner:   owner,
+		rows:    float64(t.Rows),
+		rowSize: float64(t.RowSize()),
+		sel:     sel,
+		proj:    proj,
+		spec: plan.ScanSpec{
+			InputRows:     float64(t.Rows),
+			InputRowSize:  float64(t.RowSize()),
+			Selectivity:   sel,
+			OutputRowSize: proj,
+		},
+		systems: a.placements(owner),
+	}, nil
+}
+
+// scanCandidate assembles the placement candidate for sys around an
+// already-computed scan estimate.
+func (o *Optimizer) scanCandidate(in scanInput, sys string, ce core.Estimate) (candidate, error) {
+	c := candidate{desc: fmt.Sprintf("scan on %s", sys)}
+	if sys != in.owner {
+		// Ship the (filtered, thanks to QueryGrid pushdown) table first.
+		sec, err := o.Grid.TransferCostFiltered(in.owner, sys, in.rows, in.rowSize, in.sel)
+		if err != nil {
+			return candidate{}, err
+		}
+		c.add(Step{Kind: "transfer", From: in.owner, System: sys,
+			Rows: in.rows * in.sel, RowSize: in.rowSize, EstimatedSec: sec})
+	}
+	spec := in.spec
+	c.add(Step{Kind: "scan", System: sys, Scan: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
+	// Final result must land on the master.
+	if ts, err := o.transferStep(sys, querygrid.Master, in.spec.OutputRows(), in.proj); err != nil {
+		return candidate{}, err
+	} else if ts != nil {
+		c.add(*ts)
+	}
+	return c, nil
+}
+
+// planScan places a single-table filter/project.
+func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
+	in, err := o.scanInputFor(a)
+	if err != nil {
+		return nil, err
 	}
 	// Every placement is costed independently (estimators are safe for
 	// concurrent use), so candidates fan out across the worker pool; the
 	// ordered results keep plan selection identical to a serial sweep.
-	systems := a.placements(owner)
-	cands, err := parallel.MapN(o.Workers, len(systems), func(i int) (candidate, error) {
-		sys := systems[i]
+	cands, err := parallel.MapN(o.Workers, len(in.systems), func(i int) (candidate, error) {
+		sys := in.systems[i]
 		est, err := o.estimator(sys)
 		if err != nil {
 			return candidate{}, err
 		}
-		c := candidate{desc: fmt.Sprintf("scan on %s", sys)}
-		if sys != owner {
-			// Ship the (filtered, thanks to QueryGrid pushdown) table first.
-			sec, err := o.Grid.TransferCostFiltered(owner, sys, float64(t.Rows), float64(t.RowSize()), sel)
-			if err != nil {
-				return candidate{}, err
-			}
-			c.add(Step{Kind: "transfer", From: owner, System: sys,
-				Rows: float64(t.Rows) * sel, RowSize: float64(t.RowSize()), EstimatedSec: sec})
-		}
-		ce, err := est.EstimateScan(spec)
+		ce, err := est.EstimateScan(in.spec)
 		if err != nil {
 			return candidate{}, fmt.Errorf("optimizer: scan estimate on %q: %w", sys, err)
 		}
-		c.add(Step{Kind: "scan", System: sys, Scan: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
-		// Final result must land on the master.
-		if ts, err := o.transferStep(sys, querygrid.Master, spec.OutputRows(), proj); err != nil {
-			return candidate{}, err
-		} else if ts != nil {
-			c.add(*ts)
-		}
-		return c, nil
+		return o.scanCandidate(in, sys, ce)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return pickBest(cands, spec.OutputRows(), proj), nil
+	return pickBest(cands, in.spec.OutputRows(), in.proj), nil
 }
 
 // placements enumerates candidate systems for an operator over inputs owned
@@ -355,17 +389,28 @@ func (a *analyzed) placements(owners ...string) []string {
 	return out
 }
 
-// planAgg places a single-table aggregation.
-func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
+// aggInput is everything an aggregation placement sweep needs, shared
+// between the single-statement path and the grouped batch path.
+type aggInput struct {
+	owner   string
+	rows    float64 // base table cardinality (pre-filter)
+	rowSize float64
+	sel     float64
+	spec    plan.AggSpec
+	systems []string
+}
+
+// aggInputFor derives the aggregation spec and its candidate placements.
+func (o *Optimizer) aggInputFor(a *analyzed) (aggInput, error) {
 	b := a.order[0]
 	t := a.bindings[b]
 	owner, err := a.systemOf(b)
 	if err != nil {
-		return nil, err
+		return aggInput{}, err
 	}
 	sel, err := a.sideSelectivity(b)
 	if err != nil {
-		return nil, err
+		return aggInput{}, err
 	}
 	inRows := float64(t.Rows) * sel
 	if inRows < 1 {
@@ -373,51 +418,72 @@ func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
 	}
 	outRows, err := a.groupOutputRows(inRows)
 	if err != nil {
-		return nil, err
+		return aggInput{}, err
 	}
 	outSize, numAggs, err := a.aggOutputRowSize()
 	if err != nil {
+		return aggInput{}, err
+	}
+	return aggInput{
+		owner:   owner,
+		rows:    float64(t.Rows),
+		rowSize: float64(t.RowSize()),
+		sel:     sel,
+		spec: plan.AggSpec{
+			InputRows:     inRows,
+			InputRowSize:  float64(t.RowSize()),
+			OutputRows:    outRows,
+			OutputRowSize: outSize,
+			NumAggregates: numAggs,
+		},
+		systems: a.placements(owner),
+	}, nil
+}
+
+// aggCandidate assembles the placement candidate for sys around an
+// already-computed aggregation estimate.
+func (o *Optimizer) aggCandidate(in aggInput, sys string, ce core.Estimate) (candidate, error) {
+	c := candidate{desc: fmt.Sprintf("aggregation on %s", sys)}
+	if sys != in.owner {
+		sec, err := o.Grid.TransferCostFiltered(in.owner, sys, in.rows, in.rowSize, in.sel)
+		if err != nil {
+			return candidate{}, err
+		}
+		c.add(Step{Kind: "transfer", From: in.owner, System: sys,
+			Rows: in.spec.InputRows, RowSize: in.rowSize, EstimatedSec: sec})
+	}
+	spec := in.spec
+	c.add(Step{Kind: "aggregation", System: sys, Agg: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
+	if ts, err := o.transferStep(sys, querygrid.Master, in.spec.OutputRows, in.spec.OutputRowSize); err != nil {
+		return candidate{}, err
+	} else if ts != nil {
+		c.add(*ts)
+	}
+	return c, nil
+}
+
+// planAgg places a single-table aggregation.
+func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
+	in, err := o.aggInputFor(a)
+	if err != nil {
 		return nil, err
 	}
-	spec := plan.AggSpec{
-		InputRows:     inRows,
-		InputRowSize:  float64(t.RowSize()),
-		OutputRows:    outRows,
-		OutputRowSize: outSize,
-		NumAggregates: numAggs,
-	}
-	systems := a.placements(owner)
-	cands, err := parallel.MapN(o.Workers, len(systems), func(i int) (candidate, error) {
-		sys := systems[i]
+	cands, err := parallel.MapN(o.Workers, len(in.systems), func(i int) (candidate, error) {
+		sys := in.systems[i]
 		est, err := o.estimator(sys)
 		if err != nil {
 			return candidate{}, err
 		}
-		c := candidate{desc: fmt.Sprintf("aggregation on %s", sys)}
-		if sys != owner {
-			sec, err := o.Grid.TransferCostFiltered(owner, sys, float64(t.Rows), float64(t.RowSize()), sel)
-			if err != nil {
-				return candidate{}, err
-			}
-			c.add(Step{Kind: "transfer", From: owner, System: sys,
-				Rows: inRows, RowSize: float64(t.RowSize()), EstimatedSec: sec})
-		}
-		ce, err := est.EstimateAgg(spec)
+		ce, err := est.EstimateAgg(in.spec)
 		if err != nil {
 			return candidate{}, fmt.Errorf("optimizer: aggregation estimate on %q: %w", sys, err)
 		}
-		c.add(Step{Kind: "aggregation", System: sys, Agg: &spec, EstimatedSec: ce.Seconds, Estimate: ce})
-		if ts, err := o.transferStep(sys, querygrid.Master, outRows, outSize); err != nil {
-			return candidate{}, err
-		} else if ts != nil {
-			c.add(*ts)
-		}
-		return c, nil
+		return o.aggCandidate(in, sys, ce)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return pickBest(cands, outRows, outSize), nil
+	return pickBest(cands, in.spec.OutputRows, in.spec.OutputRowSize), nil
 }
 
 // joinStep is one resolved left-deep join: the new table's binding, its

@@ -134,21 +134,122 @@ func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // folds one finished chunk state into the caller's accumulator. reduce runs
 // on the calling goroutine; process calls run concurrently with it but never
 // on the same state.
+//
+// MapReduce builds (and tears down) a Reducer per call; hot loops that run
+// many reductions back to back should hold a Reducer instead.
 func MapReduce[S any](n, chunk, workers int, newState func() S, reset func(S), process func(s S, start, end int), reduce func(s S)) {
 	if n <= 0 {
 		return
 	}
-	if chunk <= 0 || chunk > n {
-		chunk = n
+	r := NewReducer(n, chunk, workers, newState)
+	defer r.Close()
+	r.Run(n, reset, process, reduce)
+}
+
+// Reducer is a reusable chunk-ordered reduction pipeline: per-slot states
+// and worker goroutines are allocated once at construction and reused by
+// every Run, so a hot loop (e.g. one reduction per training mini-batch)
+// performs zero steady-state heap allocations and spawns no goroutines per
+// run. The determinism contract matches MapReduce exactly: chunks reduce in
+// ascending order, so results are bit-identical at any worker count.
+//
+// A Reducer is for a single caller: Run must not be invoked concurrently.
+// Close releases the worker goroutines; the zero-worker (serial) form has
+// none and Close is then a no-op.
+type Reducer[S any] struct {
+	chunk  int
+	w      int
+	states []S
+	work   chan span // buffered for the worst-case chunk count of maxN
+	free   chan S
+	ready  chan doneChunk[S]
+	wg     sync.WaitGroup
+
+	// reset/process for the current Run; workers observe the updated values
+	// through the happens-before edge of the work-channel send.
+	reset   func(S)
+	process func(S, int, int)
+
+	// parked holds out-of-order chunk completions between reduces. It drains
+	// to empty by the end of every Run, so reusing it keeps Run allocation-free.
+	parked map[int]S
+}
+
+type span struct{ start, end int }
+
+type doneChunk[S any] struct {
+	c int
+	s S
+}
+
+// NewReducer builds a pipeline for reductions over at most maxN indexes in
+// chunks of the given size (chunk ≤ 0 selects maxN). workers bounds the
+// concurrency (0 = pool default, 1 = serial with no goroutines).
+func NewReducer[S any](maxN, chunk, workers int, newState func() S) *Reducer[S] {
+	if maxN < 1 {
+		maxN = 1
 	}
-	numChunks := (n + chunk - 1) / chunk
-	w := clampWorkers(workers, numChunks)
+	if chunk <= 0 || chunk > maxN {
+		chunk = maxN
+	}
+	maxChunks := (maxN + chunk - 1) / chunk
+	w := clampWorkers(workers, maxChunks)
+	r := &Reducer[S]{chunk: chunk, w: w}
 	if w == 1 {
-		s := newState()
+		r.states = []S{newState()}
+		return r
+	}
+	// w+1 pooled states bound the in-flight chunks; the work queue is FIFO
+	// and spans are enqueued in ascending order, so the lowest unreduced
+	// chunk is always among the in-flight ones and the ordered reducer in
+	// Run cannot starve.
+	r.free = make(chan S, w+1)
+	for i := 0; i < w+1; i++ {
+		r.free <- newState()
+	}
+	r.work = make(chan span, maxChunks)
+	r.ready = make(chan doneChunk[S], w+1)
+	r.parked = make(map[int]S, w)
+	r.wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer r.wg.Done()
+			for {
+				// Acquire a state BEFORE claiming a span. Claiming first
+				// would deadlock: a worker stalled waiting for a state holds
+				// the lowest unreduced chunk hostage while the other workers
+				// complete every later chunk, the reducer parks all w+1
+				// states waiting for that chunk, and free never refills.
+				// With the state in hand, every claimed span runs to
+				// completion, so the lowest unreduced chunk always reaches
+				// the ready channel and the ordered reducer makes progress.
+				s := <-r.free
+				sp, ok := <-r.work
+				if !ok {
+					return
+				}
+				r.reset(s)
+				r.process(s, sp.start, sp.end)
+				r.ready <- doneChunk[S]{c: sp.start / r.chunk, s: s}
+			}
+		}()
+	}
+	return r
+}
+
+// Run performs one chunk-ordered reduction over [0, n). n must not exceed
+// the maxN the Reducer was built for. reduce runs on the calling goroutine.
+func (r *Reducer[S]) Run(n int, reset func(S), process func(s S, start, end int), reduce func(s S)) {
+	if n <= 0 {
+		return
+	}
+	numChunks := (n + r.chunk - 1) / r.chunk
+	if r.w == 1 {
+		s := r.states[0]
 		for c := 0; c < numChunks; c++ {
 			reset(s)
-			start := c * chunk
-			end := start + chunk
+			start := c * r.chunk
+			end := start + r.chunk
 			if end > n {
 				end = n
 			}
@@ -157,53 +258,37 @@ func MapReduce[S any](n, chunk, workers int, newState func() S, reset func(S), p
 		}
 		return
 	}
-
-	// w+1 pooled states bound the in-flight chunks; workers claim chunk
-	// indexes in ascending order, so the lowest unreduced chunk is always
-	// among the in-flight ones and the ordered reducer below cannot starve.
-	free := make(chan S, w+1)
-	for i := 0; i < w+1; i++ {
-		free <- newState()
+	if numChunks > cap(r.work) {
+		panic("parallel: Reducer.Run over more indexes than the Reducer was built for")
 	}
-	type doneChunk struct {
-		c int
-		s S
+	r.reset, r.process = reset, process
+	for c := 0; c < numChunks; c++ {
+		start := c * r.chunk
+		end := start + r.chunk
+		if end > n {
+			end = n
+		}
+		r.work <- span{start: start, end: end}
 	}
-	ready := make(chan doneChunk, w+1)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= numChunks {
-					return
-				}
-				s := <-free
-				reset(s)
-				start := c * chunk
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				process(s, start, end)
-				ready <- doneChunk{c: c, s: s}
-			}
-		}()
-	}
-	pending := make(map[int]S, w)
+	// Reduce in ascending chunk order, parking out-of-order completions
+	// (at most w+1 chunks are ever in flight).
 	for reduced := 0; reduced < numChunks; {
-		if s, ok := pending[reduced]; ok {
+		if s, ok := r.parked[reduced]; ok {
 			reduce(s)
-			delete(pending, reduced)
-			free <- s
+			delete(r.parked, reduced)
+			r.free <- s
 			reduced++
 			continue
 		}
-		d := <-ready
-		pending[d.c] = d.s
+		d := <-r.ready
+		r.parked[d.c] = d.s
 	}
-	wg.Wait()
+}
+
+// Close stops the worker goroutines. The Reducer must not be used after.
+func (r *Reducer[S]) Close() {
+	if r.work != nil {
+		close(r.work)
+		r.wg.Wait()
+	}
 }

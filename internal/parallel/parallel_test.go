@@ -116,3 +116,54 @@ func TestMapReduceVisitsEveryIndexOnce(t *testing.T) {
 		t.Errorf("reduce called %d times, want %d", chunks, want)
 	}
 }
+
+// Reducer reuse: many Runs on one pipeline must stay deterministic and
+// ordered. This is also the regression test for a starvation deadlock where
+// a worker claimed the lowest unreduced chunk and then stalled waiting for a
+// pooled state while the other workers drained every remaining chunk —
+// hundreds of small Runs back to back reproduce that interleaving reliably.
+func TestReducerReuseManyRuns(t *testing.T) {
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = float64(i%17) - 8
+	}
+	red := NewReducer(len(vals), 64, 4, func() *float64 { return new(float64) })
+	defer red.Close()
+
+	sumOnce := func(n int) float64 {
+		total := 0.0
+		red.Run(n,
+			func(s *float64) { *s = 0 },
+			func(s *float64, start, end int) {
+				for i := start; i < end; i++ {
+					*s += vals[i]
+				}
+			},
+			func(s *float64) { total += *s },
+		)
+		return total
+	}
+	want := sumOnce(len(vals))
+	wantPartial := sumOnce(100) // n below capacity must work too
+	for run := 0; run < 500; run++ {
+		if got := sumOnce(len(vals)); got != want {
+			t.Fatalf("run %d: sum %v != first run %v", run, got, want)
+		}
+		if got := sumOnce(100); got != wantPartial {
+			t.Fatalf("run %d: partial sum %v != first run %v", run, got, wantPartial)
+		}
+	}
+}
+
+// A Reducer built for maxN must refuse larger Runs instead of silently
+// corrupting the span queue.
+func TestReducerRunBeyondCapacityPanics(t *testing.T) {
+	red := NewReducer(100, 10, 4, func() *int { return new(int) })
+	defer red.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Run beyond Reducer capacity")
+		}
+	}()
+	red.Run(101, func(*int) {}, func(*int, int, int) {}, func(*int) {})
+}

@@ -1,14 +1,18 @@
 // Package server exposes a master engine over HTTP/JSON — the serving layer
 // in front of the federated optimizer. Endpoints:
 //
-//	POST /query    {"sql": "..."}  plan + execute, returns plan and actuals
-//	POST /explain  {"sql": "..."}  plan only, returns the rendered plan
-//	GET  /profiles                 registered systems and their estimators
-//	GET  /metrics                  QPS, per-stage latency, cache hit rate,
-//	                               feedback backlog
-//	GET  /health                   federation availability: circuit-breaker
-//	                               states, retry/fallback counters; 503
-//	                               while any breaker is open
+//	POST /query        {"sql": "..."}  plan + execute, returns plan and actuals
+//	POST /query/batch  ["...", ...]    plan a group of statements together
+//	                                   (amortizing parse, plan-cache, and
+//	                                   estimator work), execute in order;
+//	                                   returns one element per statement
+//	POST /explain      {"sql": "..."}  plan only, returns the rendered plan
+//	GET  /profiles                     registered systems and their estimators
+//	GET  /metrics                      QPS, per-stage latency, cache hit rate,
+//	                                   feedback backlog
+//	GET  /health                       federation availability: circuit-breaker
+//	                                   states, retry/fallback counters; 503
+//	                                   while any breaker is open
 //
 // /query and /explain also accept GET with a ?q= parameter for curl
 // convenience. Every handler is wrapped in http.TimeoutHandler so a slow
@@ -63,6 +67,7 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 		return http.TimeoutHandler(h, timeout, `{"error":"request timed out"}`)
 	}
 	mux.Handle("/query", bound(s.handleQuery))
+	mux.Handle("/query/batch", bound(s.handleQueryBatch))
 	mux.Handle("/explain", bound(s.handleExplain))
 	mux.Handle("/profiles", bound(s.handleProfiles))
 	mux.Handle("/metrics", bound(s.handleMetrics))
@@ -120,18 +125,9 @@ type queryResponse struct {
 	Rows         [][]float64 `json:"rows,omitempty"`
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	sql, err := readSQL(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.qps.Tick()
-	res, err := s.eng.QueryContext(r.Context(), sql)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
+// toQueryResponse maps an engine result onto the wire shape shared by
+// /query and /query/batch.
+func toQueryResponse(sql string, res *engine.QueryResult) queryResponse {
 	resp := queryResponse{
 		SQL:          sql,
 		Explain:      res.Plan.Explain(),
@@ -144,6 +140,77 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Rows != nil {
 		resp.Columns = res.Rows.Columns
 		resp.Rows = res.Rows.Rows
+	}
+	return resp
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql, err := readSQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.qps.Tick()
+	res, err := s.eng.QueryContext(r.Context(), sql)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryResponse(sql, res))
+}
+
+// readBatch decodes a /query/batch body: a JSON array whose elements are
+// either {"sql": "..."} objects or bare statement strings (the two forms may
+// mix).
+func readBatch(r *http.Request) ([]string, error) {
+	if r.Body == nil {
+		return nil, fmt.Errorf("missing batch: POST [{\"sql\": ...}, ...] or [\"...\", ...]")
+	}
+	var raw []json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("decode request: %v", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	out := make([]string, len(raw))
+	for i, m := range raw {
+		var sql string
+		if err := json.Unmarshal(m, &sql); err != nil {
+			var req statementRequest
+			if err := json.Unmarshal(m, &req); err != nil {
+				return nil, fmt.Errorf("statement %d: want {\"sql\": ...} or a string", i)
+			}
+			sql = req.SQL
+		}
+		if sql == "" {
+			return nil, fmt.Errorf("statement %d: empty sql", i)
+		}
+		out[i] = sql
+	}
+	return out, nil
+}
+
+// handleQueryBatch serves POST /query/batch: the statements plan together
+// (amortizing parsing, plan-cache lookups, and estimator calls) and execute
+// in order. The response is an array aligned with the request; each element
+// is either a /query result or {"sql": ..., "error": ...}, so one failed
+// statement never fails its neighbors.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	sqls, err := readBatch(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	items := s.eng.QueryBatch(r.Context(), sqls)
+	resp := make([]any, len(items))
+	for i, it := range items {
+		s.qps.Tick()
+		if it.Err != nil {
+			resp[i] = map[string]string{"sql": sqls[i], "error": it.Err.Error()}
+			continue
+		}
+		resp[i] = toQueryResponse(sqls[i], it.Res)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -30,7 +30,11 @@ type sample struct {
 }
 
 func collect(samples []sample) *RunResult {
-	res := &RunResult{}
+	res := &RunResult{
+		X:          make([][]float64, 0, len(samples)),
+		Y:          make([]float64, 0, len(samples)),
+		Cumulative: make([]float64, 0, len(samples)),
+	}
 	for _, s := range samples {
 		res.X = append(res.X, s.dims)
 		res.Y = append(res.Y, s.sec)

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Record the perf trajectory: run the benchmark suite and emit a JSON
+# snapshot (ns/op, and B/op + allocs/op where the benchmark reports them)
+# keyed by benchmark name. Used by `make bench-snapshot` (full run, writes
+# BENCH_PR4.json) and by `make ci` (BENCHTIME=1x smoke into a throwaway
+# file, just to prove the suite and the parser still work).
+set -eu
+
+GO=${GO:-go}
+OUT=${BENCH_OUT:-BENCH_PR4.json}
+BENCHTIME=${BENCHTIME:-1s}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run() {
+    pkg=$1
+    pattern=$2
+    $GO test "$pkg" -run '^$' -bench "$pattern" -benchtime "$BENCHTIME" | tee -a "$TMP"
+}
+
+run ./internal/nn 'BenchmarkNNTrain|BenchmarkForwardBatch|BenchmarkPredictAll'
+run ./internal/optimizer 'BenchmarkOptimizerPlan'
+run ./internal/engine 'BenchmarkExplain|BenchmarkServeQueryBatch'
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        else if ($(i + 1) == "B/op") bytes = $i
+        else if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (allocs != "") printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$TMP" >"$OUT"
+
+echo "bench snapshot written to $OUT"

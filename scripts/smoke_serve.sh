@@ -18,7 +18,7 @@ trap cleanup EXIT
 
 $GO build -o "$BIN" ./cmd/serve
 
-"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+"$BIN" -addr "$ADDR" -warm >"$LOG" 2>&1 &
 PID=$!
 
 # Wait for the server to come up (training the demo models takes a moment).
@@ -38,8 +38,21 @@ until curl -sf "http://$ADDR/profiles" >/dev/null 2>&1; do
     sleep 0.5
 done
 
+# -warm logs one line per statement that failed to plan; any such line means
+# the demo statement mix has drifted from the demo catalog.
+if grep -q 'warm "' "$LOG"; then
+    echo "smoke: plan-cache warm-up failed; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
 out=$(curl -sf "http://$ADDR/query" -d '{"sql": "SELECT a1 FROM t10000_100 WHERE a1 < 100"}')
 echo "$out" | grep -q '"actual_sec"' || { echo "smoke: bad /query response: $out" >&2; exit 1; }
+
+out=$(curl -sf "http://$ADDR/query/batch" \
+    -d '["SELECT a1 FROM t10000_100 WHERE a1 < 100", {"sql": "SELECT a2, COUNT(*) FROM t1000000_100 GROUP BY a2"}, "SELECT a1 FROM no_such_table"]')
+echo "$out" | grep -q '"actual_sec"' || { echo "smoke: bad /query/batch response: $out" >&2; exit 1; }
+echo "$out" | grep -q '"error"' || { echo "smoke: /query/batch lost the per-statement error: $out" >&2; exit 1; }
 
 out=$(curl -sf "http://$ADDR/metrics")
 echo "$out" | grep -q '"plan_cache"' || { echo "smoke: bad /metrics response: $out" >&2; exit 1; }
