@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke chaos ci
+.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke chaos ci
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# go vet's default analyzer suite includes structtag (mismatched JSON tags)
+# and copylocks; the shadow analyzer is not in the default suite and would
+# need golang.org/x/tools, which this module deliberately avoids — variable
+# shadowing is covered by review and the -race suite instead.
 vet:
 	$(GO) vet ./...
 
@@ -41,6 +45,12 @@ bench-snapshot-smoke:
 smoke:
 	GO="$(GO)" sh scripts/smoke_serve.sh
 
+# Observability smoke: traced query against a live cmd/serve (span names
+# asserted end to end), /trace ring replay, /metrics/prom exposition-format
+# check, and the -pprof surface.
+trace-smoke:
+	GO="$(GO)" sh scripts/trace_smoke.sh
+
 # Fault-injection suite: the seeded chaos tests under the race detector,
 # then an outage + recovery cycle driven against a live cmd/serve through
 # the /faults control plane.
@@ -48,4 +58,4 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/... -count=1
 	GO="$(GO)" sh scripts/chaos_serve.sh
 
-ci: vet build race bench bench-snapshot-smoke smoke chaos
+ci: vet build race bench bench-snapshot-smoke smoke trace-smoke chaos

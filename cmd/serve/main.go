@@ -13,14 +13,19 @@
 //	POST /query/batch  ["SELECT ...", ...]     plan together, execute in order
 //	POST /explain      {"sql": "SELECT ..."}   plan only
 //	GET  /query?q=SELECT+...                   curl-friendly form of the above
+//	GET  /query?q=SELECT+...&trace=1           traced form: returns the span tree
 //	GET  /profiles                             registered systems and estimators
 //	GET  /metrics                              QPS, latency, cache hit rate
+//	GET  /metrics/prom                         Prometheus text exposition
+//	GET  /trace?n=5&format=text                recent traced queries
 //	GET  /health                               breaker states and fallback counters
 //	GET  /faults                               fault-injector switches and stats
 //	POST /faults   {"system": "hive", "outage": true}       force/lift an outage
 //
 // -warm pre-plans the demo statement mix (demo.Statements) so the plan
-// cache is hot before the first client arrives.
+// cache is hot before the first client arrives. -pprof additionally mounts
+// the net/http/pprof profiling handlers under /debug/pprof/ (off by
+// default — profiling endpoints are not for unauthenticated exposure).
 //
 // Fault injection is seeded and deterministic; with all -fault-* flags at
 // zero (the default) every response is byte-identical to a build without
@@ -35,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +65,8 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that open a breaker (0 = default 5)")
 	breakerTimeout := flag.Duration("breaker-open-timeout", 0, "open-breaker rejection window before half-open probes (0 = default 10s)")
 	warm := flag.Bool("warm", false, "pre-plan the demo statement mix into the plan cache before serving")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	traceBuffer := flag.Int("trace-buffer", 0, "recent-trace ring capacity (0 = default 64, negative disables)")
 	flag.Parse()
 
 	log.Printf("building demo federation (seed %d)...", *seed)
@@ -76,6 +84,7 @@ func main() {
 			FailureThreshold: *breakerFailures,
 			OpenTimeout:      *breakerTimeout,
 		},
+		TraceBuffer: *traceBuffer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -95,9 +104,26 @@ func main() {
 		log.Printf("fault injection armed: transient %.2f latency %.2f (seed %d)", *faultTransient, *faultLatency, *faultSeed)
 	}
 
+	handler := server.New(eng).WithFaults(fed.Injectors).Handler(*timeout)
+	if *pprofOn {
+		// The API mux is timeout-wrapped; pprof handlers must not be (a CPU
+		// profile legitimately streams for 30s), so they mount on an outer
+		// mux beside the API routes, explicitly rather than through the
+		// pprof package's DefaultServeMux registrations.
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+		log.Print("pprof mounted at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng).WithFaults(fed.Injectors).Handler(*timeout),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// The timeout handler bounds the work; give writes a little slack
 		// beyond it so timeout responses still reach the client.

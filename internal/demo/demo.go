@@ -34,6 +34,9 @@ type Config struct {
 	// zero values select the resilience defaults.
 	Breaker resilience.BreakerConfig
 	Retry   resilience.RetryPolicy
+	// TraceBuffer passes through to the engine's trace ring (0 = default
+	// size, negative disables).
+	TraceBuffer int
 }
 
 // Federation is the built demo plus the chaos controls over it: every
@@ -82,7 +85,7 @@ func BuildFederation(cfg Config) (*Federation, error) {
 	}
 	eng, err := engine.New(engine.Config{
 		Seed: cfg.Seed, Workers: cfg.Workers, PlanCacheSize: cfg.PlanCacheSize,
-		Breaker: cfg.Breaker, Retry: cfg.Retry,
+		Breaker: cfg.Breaker, Retry: cfg.Retry, TraceBuffer: cfg.TraceBuffer,
 	})
 	if err != nil {
 		return nil, err

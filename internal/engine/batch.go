@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"intellisphere/internal/sqlparse"
+	"intellisphere/internal/trace"
 )
 
 // BatchItem is one statement's outcome within a query batch: exactly one of
@@ -36,7 +37,7 @@ func (e *Engine) QueryBatch(ctx context.Context, sqls []string) []BatchItem {
 	batch := make([]*sqlparse.SelectStmt, 0, len(sqls))
 	for i, sql := range sqls {
 		e.queries.Inc()
-		stmt, err := e.parse(sql)
+		stmt, err := e.parse(ctx, sql)
 		if err != nil {
 			e.queryErrors.Inc()
 			out[i].Err = err
@@ -47,7 +48,10 @@ func (e *Engine) QueryBatch(ctx context.Context, sqls []string) []BatchItem {
 		batch = append(batch, stmt)
 	}
 	planStart := time.Now()
-	plans := e.opt.PlanBatch(batch)
+	pctx, psp := trace.Start(ctx, "plan")
+	psp.SetInt("statements", len(batch))
+	plans := e.opt.PlanBatchCtx(pctx, batch)
+	psp.End()
 	e.planHist.Observe(time.Since(planStart))
 	for bi, i := range live {
 		if err := plans[bi].Err; err != nil {

@@ -32,6 +32,7 @@ import (
 	"intellisphere/internal/resilience"
 	"intellisphere/internal/rowengine"
 	"intellisphere/internal/sqlparse"
+	"intellisphere/internal/trace"
 	"intellisphere/internal/workload"
 )
 
@@ -65,6 +66,10 @@ type Config struct {
 	// DisableFallback turns off degraded re-planning: a failed remote
 	// fails the query instead of re-planning around the failed system.
 	DisableFallback bool
+	// TraceBuffer bounds the ring of recent query traces kept for /trace.
+	// 0 selects the default (trace.DefaultRingSize); negative disables the
+	// buffer entirely (QueryTraced still returns its trace inline).
+	TraceBuffer int
 }
 
 // Engine is the master engine. The remote-system, estimator, and
@@ -86,6 +91,12 @@ type Engine struct {
 	breakers *resilience.Group
 	retry    resilience.RetryPolicy
 	fallback bool
+
+	traces *trace.Ring // nil when the trace buffer is disabled
+	// accuracy holds one rolling estimator-accuracy window per
+	// (system, operator kind), keyed "system/kind". Lock-free reads on the
+	// serving path; windows are created on first observation.
+	accuracy *registry.Map[*metrics.Accuracy]
 
 	queries     metrics.Counter
 	queryErrors metrics.Counter
@@ -133,9 +144,13 @@ func New(cfg Config) (*Engine, error) {
 		breakers:     resilience.NewGroup(cfg.Breaker),
 		retry:        cfg.Retry,
 		fallback:     !cfg.DisableFallback,
+		accuracy:     registry.New[*metrics.Accuracy](),
 		parseHist:    metrics.NewLatencyHistogram(),
 		planHist:     metrics.NewLatencyHistogram(),
 		executeHist:  metrics.NewLatencyHistogram(),
+	}
+	if cfg.TraceBuffer >= 0 {
+		e.traces = trace.NewRing(cfg.TraceBuffer)
 	}
 	e.remotes.Set(querygrid.Master, master)
 	ms, _, err := subop.Train(master, subop.TrainConfig{})
@@ -180,6 +195,12 @@ type Stats struct {
 	PlanCache       optimizer.CacheStats      `json:"plan_cache"`
 	FeedbackBacklog int                       `json:"feedback_backlog"`
 	Resilience      ResilienceStats           `json:"resilience"`
+	// Accuracy reports each estimator's rolling prediction accuracy, keyed
+	// "system/operator" (e.g. "hive_marketing/join"): how well predicted
+	// step costs track the observed execution times.
+	Accuracy map[string]metrics.AccuracySnapshot `json:"accuracy,omitempty"`
+	// Traces counts traced queries recorded into the trace ring.
+	Traces uint64 `json:"traces"`
 }
 
 // ResilienceStats summarizes the fault-tolerance layer: remote-call
@@ -207,7 +228,38 @@ func (e *Engine) Stats() Stats {
 		PlanCache:       e.PlanCacheStats(),
 		FeedbackBacklog: e.FeedbackBacklog(),
 		Resilience:      e.ResilienceStats(),
+		Accuracy:        e.AccuracyStats(),
+		Traces:          e.traces.Count(),
 	}
+}
+
+// AccuracyStats snapshots every per-(system, operator) estimator-accuracy
+// window, keyed "system/operator".
+func (e *Engine) AccuracyStats() map[string]metrics.AccuracySnapshot {
+	snap := e.accuracy.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	out := make(map[string]metrics.AccuracySnapshot, len(snap))
+	for name, a := range snap {
+		out[name] = a.Snapshot()
+	}
+	return out
+}
+
+// accuracyFor returns the rolling accuracy window for one (system, operator)
+// pair, creating it on first use. Concurrent creators race benignly: exactly
+// one window wins the SetIfAbsent and everyone converges on it.
+func (e *Engine) accuracyFor(system, kind string) *metrics.Accuracy {
+	key := system + "/" + kind
+	if a, ok := e.accuracy.Get(key); ok {
+		return a
+	}
+	a := metrics.NewAccuracy(0)
+	if !e.accuracy.SetIfAbsent(key, a) {
+		a, _ = e.accuracy.Get(key)
+	}
+	return a
 }
 
 // ResilienceStats snapshots retry/fallback counters and breaker states.
@@ -483,16 +535,20 @@ type QueryResult struct {
 	// Excluded lists the systems the fallback plan(s) avoided, sorted;
 	// empty for a healthy execution.
 	Excluded []string
+	// Trace is the query's span tree when it ran through QueryTraced; nil
+	// for untraced queries.
+	Trace *trace.Trace
 }
 
 // Explain plans a query and renders the plan without executing it. Repeated
 // identical statements hit the plan cache and render byte-identical output.
 func (e *Engine) Explain(sql string) (string, error) {
-	stmt, err := e.parse(sql)
+	ctx := context.Background()
+	stmt, err := e.parse(ctx, sql)
 	if err != nil {
 		return "", err
 	}
-	p, err := e.plan(stmt)
+	p, err := e.plan(ctx, stmt)
 	if err != nil {
 		return "", err
 	}
@@ -502,11 +558,14 @@ func (e *Engine) Explain(sql string) (string, error) {
 // parse times statement parsing into the parse-stage histogram. Parsed
 // statements are immutable downstream, so repeats of the same text are
 // served from the statement LRU.
-func (e *Engine) parse(sql string) (*sqlparse.SelectStmt, error) {
+func (e *Engine) parse(ctx context.Context, sql string) (*sqlparse.SelectStmt, error) {
+	_, sp := trace.Start(ctx, "parse")
 	start := time.Now()
 	defer func() { e.parseHist.Observe(time.Since(start)) }()
 	if e.stmts != nil {
 		if stmt, ok := e.stmts.get(sql); ok {
+			sp.SetAttr("cache", "hit")
+			sp.End()
 			return stmt, nil
 		}
 	}
@@ -514,14 +573,21 @@ func (e *Engine) parse(sql string) (*sqlparse.SelectStmt, error) {
 	if err == nil && e.stmts != nil {
 		e.stmts.put(sql, stmt)
 	}
+	sp.EndErr(err)
 	return stmt, err
 }
 
 // plan times planning (cache hits included) into the plan-stage histogram.
-func (e *Engine) plan(stmt *sqlparse.SelectStmt) (*optimizer.Plan, error) {
+func (e *Engine) plan(ctx context.Context, stmt *sqlparse.SelectStmt) (*optimizer.Plan, error) {
+	ctx, sp := trace.Start(ctx, "plan")
 	start := time.Now()
-	p, err := e.opt.Plan(stmt)
+	p, err := e.opt.PlanCtx(ctx, stmt)
 	e.planHist.Observe(time.Since(start))
+	if sp != nil && err == nil {
+		sp.SetInt("steps", len(p.Steps))
+		sp.SetFloat("estimated_sec", p.EstimatedSec)
+	}
+	sp.EndErr(err)
 	return p, err
 }
 
@@ -545,6 +611,32 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (*QueryResult, er
 	}
 	return res, err
 }
+
+// QueryTraced is QueryContext with span-tree tracing enabled: the whole
+// pipeline (parse → plan with per-candidate costing spans → execute with
+// per-step and per-attempt spans) records into a trace that is attached to
+// the result and published to the engine's trace ring — the serving stack's
+// EXPLAIN ANALYZE. Failed queries are traced too (the trace lands in the
+// ring with the error recorded), so slow failures stay diagnosable.
+func (e *Engine) QueryTraced(ctx context.Context, sql string) (*QueryResult, *trace.Trace, error) {
+	tr := trace.New(sql)
+	ctx = trace.ContextWithSpan(ctx, tr.Root)
+	e.queries.Inc()
+	res, err := e.query(ctx, sql)
+	if err != nil {
+		e.queryErrors.Inc()
+	}
+	tr.Finish(err)
+	e.traces.Record(tr)
+	if res != nil {
+		res.Trace = tr
+	}
+	return res, tr, err
+}
+
+// RecentTraces returns up to n of the most recently recorded traces, newest
+// first (nil when the trace buffer is disabled).
+func (e *Engine) RecentTraces(n int) []*trace.Trace { return e.traces.Recent(n) }
 
 // stepFailure wraps a plan-step execution error with the system it failed
 // on, so the fallback loop knows which remote to plan around.
@@ -573,11 +665,11 @@ func fallbackEligible(err error) (string, bool) {
 }
 
 func (e *Engine) query(ctx context.Context, sql string) (*QueryResult, error) {
-	stmt, err := e.parse(sql)
+	stmt, err := e.parse(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	p, err := e.plan(stmt)
+	p, err := e.plan(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -607,7 +699,10 @@ func (e *Engine) run(ctx context.Context, stmt *sqlparse.SelectStmt, p *optimize
 		excluded[system] = true
 		e.fallbacks.Inc()
 		planStart := time.Now()
-		p2, perr := e.opt.PlanExcluding(stmt, excluded)
+		rctx, rsp := trace.Start(ctx, "replan")
+		rsp.SetAttr("excluded", system)
+		p2, perr := e.opt.PlanExcludingCtx(rctx, stmt, excluded)
+		rsp.EndErr(perr)
 		e.planHist.Observe(time.Since(planStart))
 		if perr != nil {
 			return nil, fmt.Errorf("engine: no fallback plan after %w (re-plan: %v)", err, perr)
@@ -628,24 +723,30 @@ func (e *Engine) run(ctx context.Context, stmt *sqlparse.SelectStmt, p *optimize
 
 // execute runs every step of one plan, then computes row-level answers when
 // every referenced table is materialized.
-func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt, p *optimizer.Plan) (*QueryResult, error) {
-	res := &QueryResult{Plan: p}
+func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt, p *optimizer.Plan) (res *QueryResult, err error) {
+	ctx, sp := trace.Start(ctx, "execute")
+	defer func() { sp.EndErr(err) }()
+	res = &QueryResult{Plan: p}
 	for _, step := range p.Steps {
-		if err := ctx.Err(); err != nil {
+		if err = ctx.Err(); err != nil {
 			return nil, err
 		}
-		actual, err := e.executeStep(ctx, step)
-		if err != nil {
+		var actual float64
+		if actual, err = e.executeStep(ctx, step); err != nil {
 			return nil, err
 		}
 		res.StepActuals = append(res.StepActuals, actual)
 		res.ActualSec += actual
 	}
+	if sp != nil {
+		sp.SetFloat("simulated_sec", res.ActualSec)
+	}
 	// Row-level answers when every referenced table is materialized.
 	if rows, ok := e.materializedFor(stmt); ok {
-		out, err := rowengine.Execute(stmt, rows)
-		if err != nil {
-			return nil, fmt.Errorf("engine: row execution: %w", err)
+		out, rerr := rowengine.Execute(stmt, rows)
+		if rerr != nil {
+			err = fmt.Errorf("engine: row execution: %w", rerr)
+			return nil, err
 		}
 		res.Rows = out
 	}
@@ -653,17 +754,27 @@ func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt, p *opti
 }
 
 // executeStep runs one plan step on the simulators — behind the target
-// system's circuit breaker and the retry policy — and queues the actual
-// cost for delivery to the estimator (the logging phase of Figure 3).
-func (e *Engine) executeStep(ctx context.Context, step optimizer.Step) (float64, error) {
+// system's circuit breaker and the retry policy — queues the actual cost
+// for delivery to the estimator (the logging phase of Figure 3), and feeds
+// the (predicted, observed) pair into the per-(system, operator) accuracy
+// window.
+func (e *Engine) executeStep(ctx context.Context, step optimizer.Step) (actual float64, err error) {
+	ctx, sp := trace.Start(ctx, step.Kind)
+	if sp != nil {
+		sp.SetSystem(step.System)
+		sp.SetFloat("estimated_sec", step.EstimatedSec)
+	}
+	defer func() { sp.EndErr(err) }()
 	if step.Kind == "transfer" {
 		// Network behaviour is learned elsewhere (Section 2's scope); the
 		// grid estimate doubles as the simulated actual. The endpoints
 		// still matter: a transfer cannot move data out of (or into) a
 		// downed or open-circuited system.
+		sp.SetAttr("from", step.From)
 		for _, end := range []string{step.From, step.System} {
-			if err := e.checkEndpoint(end); err != nil {
-				return 0, &stepFailure{system: end, kind: step.Kind, err: err}
+			if cerr := e.checkEndpoint(end); cerr != nil {
+				err = &stepFailure{system: end, kind: step.Kind, err: cerr}
+				return 0, err
 			}
 		}
 		return step.EstimatedSec, nil
@@ -673,26 +784,37 @@ func (e *Engine) executeStep(ctx context.Context, step optimizer.Step) (float64,
 	// costing concern.
 	sys, ok := e.remotes.Get(step.System)
 	if !ok {
-		return 0, fmt.Errorf("engine: plan step targets unknown system %q", step.System)
+		err = fmt.Errorf("engine: plan step targets unknown system %q", step.System)
+		return 0, err
 	}
 	est, _ := e.estimators.Get(step.System)
 	br := e.breakers.For(step.System)
 	var ex remote.Execution
-	attempts, err := resilience.Retry(ctx, e.retry, step.System+"/"+step.Kind, func(context.Context) error {
-		if err := br.Allow(); err != nil {
-			return err
+	attempts, rerr := resilience.Retry(ctx, e.retry, step.System+"/"+step.Kind, func(actx context.Context) error {
+		_, asp := trace.Start(actx, "attempt")
+		if aerr := br.Allow(); aerr != nil {
+			asp.EndErr(aerr)
+			return aerr
 		}
 		var aerr error
 		ex, aerr = e.dispatchStep(sys, step)
 		br.Record(aerr)
+		asp.EndErr(aerr)
 		return aerr
 	})
 	if attempts > 1 {
 		e.retries.Add(uint64(attempts - 1))
+		sp.SetInt("retries", attempts-1)
 	}
-	if err != nil {
-		return 0, &stepFailure{system: step.System, kind: step.Kind, err: err}
+	if rerr != nil {
+		err = &stepFailure{system: step.System, kind: step.Kind, err: rerr}
+		return 0, err
 	}
+	// The estimate-vs-observed loop: every executed operator scores its
+	// estimator's prediction (transfers are excluded above — the grid
+	// estimate doubles as the actual, so the comparison is vacuous).
+	e.accuracyFor(step.System, step.Kind).Observe(step.EstimatedSec, ex.ElapsedSec)
+	sp.SetFloat("actual_sec", ex.ElapsedSec)
 	if fb, ok := est.(core.Feedback); ok {
 		it := feedbackItem{est: fb, kind: step.Kind, actualSec: ex.ElapsedSec}
 		switch step.Kind {

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultAccuracyWindow is the rolling sample count an Accuracy keeps when
+// none is configured.
+const DefaultAccuracyWindow = 256
+
+// DefaultDriftQError is the mean q-error above which an Accuracy flags its
+// model as drifting. A q-error of 1 is a perfect estimate; the learned-cost
+// literature treats sustained q-errors beyond ~2 as a model worth retuning.
+const DefaultDriftQError = 2.0
+
+// Accuracy tracks how well one estimator's predictions track reality: a
+// rolling window of (predicted, actual) pairs per (system, operator kind),
+// summarized as q-error and MAPE. The engine feeds it from every executed
+// plan step, closing the paper's estimate-vs-observed loop operationally.
+type Accuracy struct {
+	mu     sync.Mutex
+	pred   []float64
+	act    []float64
+	next   int    // next slot to overwrite
+	filled int    // live samples (≤ window)
+	total  uint64 // lifetime observations
+	driftQ float64
+}
+
+// NewAccuracy builds a window holding the last n samples (n <= 0 selects
+// DefaultAccuracyWindow) with the default drift threshold.
+func NewAccuracy(n int) *Accuracy {
+	if n <= 0 {
+		n = DefaultAccuracyWindow
+	}
+	return &Accuracy{pred: make([]float64, n), act: make([]float64, n), driftQ: DefaultDriftQError}
+}
+
+// SetDriftThreshold overrides the mean q-error above which Snapshot reports
+// Drifting (q <= 0 restores the default).
+func (a *Accuracy) SetDriftThreshold(q float64) {
+	if q <= 0 {
+		q = DefaultDriftQError
+	}
+	a.mu.Lock()
+	a.driftQ = q
+	a.mu.Unlock()
+}
+
+// Observe records one executed operator: its predicted cost and the elapsed
+// time actually observed.
+func (a *Accuracy) Observe(predictedSec, actualSec float64) {
+	a.mu.Lock()
+	a.pred[a.next] = predictedSec
+	a.act[a.next] = actualSec
+	a.next = (a.next + 1) % len(a.pred)
+	if a.filled < len(a.pred) {
+		a.filled++
+	}
+	a.total++
+	a.mu.Unlock()
+}
+
+// qError is the symmetric relative error max(p/a, a/p) — the standard
+// cardinality/cost-estimation accuracy measure ("How Good Are Query
+// Optimizers, Really?"). Non-positive inputs clamp to a tiny epsilon so the
+// ratio stays finite.
+func qError(p, a float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		p = eps
+	}
+	if a < eps {
+		a = eps
+	}
+	if p > a {
+		return p / a
+	}
+	return a / p
+}
+
+// AccuracySnapshot summarizes one estimator's rolling accuracy window.
+type AccuracySnapshot struct {
+	// Count is the lifetime number of observations; Window is how many of
+	// them the rolling statistics below cover.
+	Count  uint64 `json:"count"`
+	Window int    `json:"window"`
+	// Q-error statistics over the window: 1 is perfect, 2 means estimates
+	// are within 2x of reality.
+	MeanQError   float64 `json:"mean_q_error"`
+	MedianQError float64 `json:"median_q_error"`
+	P95QError    float64 `json:"p95_q_error"`
+	MaxQError    float64 `json:"max_q_error"`
+	// MAPEPercent is the mean absolute percentage error of predictions
+	// against observed times, over the window.
+	MAPEPercent float64 `json:"mape_percent"`
+	// Drifting reports the window's mean q-error exceeds the drift
+	// threshold — the signal an offline retune should pick this model up.
+	Drifting bool `json:"drifting"`
+}
+
+// Snapshot computes the window's accuracy statistics.
+func (a *Accuracy) Snapshot() AccuracySnapshot {
+	a.mu.Lock()
+	n := a.filled
+	qs := make([]float64, n)
+	var mape float64
+	for i := 0; i < n; i++ {
+		p, ac := a.pred[i], a.act[i]
+		qs[i] = qError(p, ac)
+		den := math.Abs(ac)
+		if den < 1e-9 {
+			den = 1e-9
+		}
+		mape += math.Abs(p-ac) / den
+	}
+	s := AccuracySnapshot{Count: a.total, Window: n}
+	drift := a.driftQ
+	a.mu.Unlock()
+	if n == 0 {
+		return s
+	}
+	sort.Float64s(qs)
+	var sum float64
+	for _, q := range qs {
+		sum += q
+	}
+	s.MeanQError = sum / float64(n)
+	s.MedianQError = qs[(n-1)/2]
+	s.P95QError = qs[int(math.Ceil(0.95*float64(n)))-1]
+	s.MaxQError = qs[n-1]
+	s.MAPEPercent = 100 * mape / float64(n)
+	s.Drifting = s.MeanQError > drift
+	return s
+}

@@ -71,7 +71,11 @@ type Bucket struct {
 }
 
 // HistogramSnapshot is a point-in-time view of a histogram with
-// pre-computed quantile estimates.
+// pre-computed quantile estimates. Buckets reports every bucket with its
+// explicit upper bound — zero counts included — so consumers (the Prometheus
+// exposition above all) see the full, stable bucket layout; observations
+// beyond the last bound are counted in Overflow rather than as an infinite
+// bound, keeping the snapshot JSON-marshalable and round-trippable.
 type HistogramSnapshot struct {
 	Count      uint64   `json:"count"`
 	SumSeconds float64  `json:"sum_seconds"`
@@ -80,11 +84,15 @@ type HistogramSnapshot struct {
 	P95Sec     float64  `json:"p95_sec"`
 	P99Sec     float64  `json:"p99_sec"`
 	Buckets    []Bucket `json:"buckets,omitempty"`
+	// Overflow counts observations above the last bucket bound (the +Inf
+	// bucket of the Prometheus exposition).
+	Overflow uint64 `json:"overflow,omitempty"`
 }
 
 // Snapshot captures the histogram. Quantiles are upper-bound estimates from
 // the bucket layout (each quantile reports the bound of the bucket that
-// contains it).
+// contains it, clamped to the last bound when the quantile falls into the
+// overflow region).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load()}
 	s.SumSeconds = float64(h.sumNanos.Load()) / 1e9
@@ -93,20 +101,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	counts := make([]uint64, len(h.bounds))
 	var total uint64
-	for i := range h.bounds {
+	s.Buckets = make([]Bucket, len(h.bounds))
+	for i, b := range h.bounds {
 		counts[i] = h.counts[i].Load()
 		total += counts[i]
+		s.Buckets[i] = Bucket{UpperBoundSec: b, Count: counts[i]}
 	}
-	over := h.overflow.Load()
-	total += over
-	for i, b := range h.bounds {
-		if c := counts[i]; c > 0 {
-			s.Buckets = append(s.Buckets, Bucket{UpperBoundSec: b, Count: c})
-		}
-	}
-	if over > 0 {
-		s.Buckets = append(s.Buckets, Bucket{UpperBoundSec: math.Inf(1), Count: over})
-	}
+	s.Overflow = h.overflow.Load()
+	total += s.Overflow
 	if total == 0 {
 		return s
 	}
@@ -122,7 +124,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 				return h.bounds[i]
 			}
 		}
-		return math.Inf(1)
+		return h.bounds[len(h.bounds)-1]
 	}
 	s.P50Sec = quantile(0.50)
 	s.P95Sec = quantile(0.95)
@@ -147,6 +149,16 @@ type RateMeter struct {
 
 // NewRateMeter builds a meter using the wall clock.
 func NewRateMeter() *RateMeter { return &RateMeter{now: time.Now} }
+
+// NewRateMeterClock builds a meter reading time from now — the injectable
+// clock form, so sliding-window behaviour is testable without sleeping.
+// A nil now selects the wall clock.
+func NewRateMeterClock(now func() time.Time) *RateMeter {
+	if now == nil {
+		now = time.Now
+	}
+	return &RateMeter{now: now}
+}
 
 // Tick records one event.
 func (r *RateMeter) Tick() {

@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,6 +57,12 @@ type specRef struct {
 // A failed group estimate re-plans each affected statement through the
 // scalar path, so per-statement errors match sequential planning.
 func (o *Optimizer) PlanBatch(stmts []*sqlparse.SelectStmt) []PlanResult {
+	return o.PlanBatchCtx(context.Background(), stmts)
+}
+
+// PlanBatchCtx is PlanBatch with context plumbing: a traced context records
+// one costing span per (system, operator-kind) estimate group.
+func (o *Optimizer) PlanBatchCtx(ctx context.Context, stmts []*sqlparse.SelectStmt) []PlanResult {
 	out := make([]PlanResult, len(stmts))
 	if o.Catalog == nil || o.Grid == nil || o.Estimators == nil || o.Estimators.Len() == 0 {
 		err := fmt.Errorf("optimizer: catalog, grid, and estimators are required")
@@ -112,7 +119,7 @@ func (o *Optimizer) PlanBatch(stmts []*sqlparse.SelectStmt) []PlanResult {
 		}
 		switch {
 		case len(stmt.Joins) > 0:
-			p, err := o.planUncached(stmt, nil)
+			p, err := o.planUncached(ctx, stmt, nil)
 			done(i, key, p, err)
 		case stmt.HasAggregates() || len(stmt.GroupBy) > 0:
 			in, err := o.aggInputFor(a)
@@ -155,7 +162,7 @@ func (o *Optimizer) PlanBatch(stmts []*sqlparse.SelectStmt) []PlanResult {
 		for i, r := range refs {
 			specs[i] = r.p.scan.spec
 		}
-		o.resolveGroup(sys, refs, func(est core.Estimator) ([]core.Estimate, error) {
+		o.resolveGroup(ctx, "scan", sys, refs, func(est core.Estimator) ([]core.Estimate, error) {
 			return core.EstimateScans(est, specs)
 		})
 	}
@@ -165,7 +172,7 @@ func (o *Optimizer) PlanBatch(stmts []*sqlparse.SelectStmt) []PlanResult {
 		for i, r := range refs {
 			specs[i] = r.p.agg.spec
 		}
-		o.resolveGroup(sys, refs, func(est core.Estimator) ([]core.Estimate, error) {
+		o.resolveGroup(ctx, "aggregation", sys, refs, func(est core.Estimator) ([]core.Estimate, error) {
 			return core.EstimateAggs(est, specs)
 		})
 	}
@@ -174,7 +181,7 @@ func (o *Optimizer) PlanBatch(stmts []*sqlparse.SelectStmt) []PlanResult {
 	// and select exactly as the scalar sweep would.
 	for _, p := range pend {
 		if p.bad {
-			pl, err := o.planUncached(p.stmt, nil)
+			pl, err := o.planUncached(ctx, p.stmt, nil)
 			done(p.idx, p.key, pl, err)
 			continue
 		}
@@ -212,7 +219,9 @@ func (o *Optimizer) PlanBatch(stmts []*sqlparse.SelectStmt) []PlanResult {
 // scatters the estimates back into each statement's slot. Any failure —
 // missing estimator or a failed batch — marks every member statement for
 // scalar re-planning instead of failing the group wholesale.
-func (o *Optimizer) resolveGroup(sys string, refs []specRef, batch func(core.Estimator) ([]core.Estimate, error)) {
+func (o *Optimizer) resolveGroup(ctx context.Context, operator, sys string, refs []specRef, batch func(core.Estimator) ([]core.Estimate, error)) {
+	sp := costSpan(ctx, operator, sys)
+	sp.SetInt("specs", len(refs))
 	est, err := o.estimator(sys)
 	if err == nil {
 		var ests []core.Estimate
@@ -220,9 +229,14 @@ func (o *Optimizer) resolveGroup(sys string, refs []specRef, batch func(core.Est
 			for i, r := range refs {
 				r.p.ests[r.pos] = ests[i]
 			}
+			if sp != nil && len(ests) > 0 {
+				sp.SetAttr("approach", string(ests[0].Approach))
+			}
+			sp.End()
 			return
 		}
 	}
+	sp.EndErr(err)
 	for _, r := range refs {
 		r.p.bad = true
 	}

@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"intellisphere/internal/querygrid"
 	"intellisphere/internal/registry"
 	"intellisphere/internal/sqlparse"
+	"intellisphere/internal/trace"
 )
 
 // Optimizer is the master engine's federated planner. Estimators is a
@@ -141,17 +143,29 @@ func (c *candidate) add(s Step) {
 // to the catalog, the grid links, or any estimator invalidates implicitly
 // through the generation vector.
 func (o *Optimizer) Plan(stmt *sqlparse.SelectStmt) (*Plan, error) {
-	return o.PlanExcluding(stmt, nil)
+	return o.PlanExcludingCtx(context.Background(), stmt, nil)
 }
 
-// PlanExcluding plans a statement avoiding the named systems entirely — no
+// PlanCtx is Plan with context plumbing: when the context carries an active
+// trace span, candidate-costing work records per-(system, operator) spans
+// under it.
+func (o *Optimizer) PlanCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (*Plan, error) {
+	return o.PlanExcludingCtx(ctx, stmt, nil)
+}
+
+// PlanExcluding is PlanExcludingCtx without tracing.
+func (o *Optimizer) PlanExcluding(stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
+	return o.PlanExcludingCtx(context.Background(), stmt, exclude)
+}
+
+// PlanExcludingCtx plans a statement avoiding the named systems entirely — no
 // operator placement, no transfer endpoint, no table read touches them.
 // Tables owned by an excluded system are read from a replica when one is
 // linked. Degraded plans bypass the plan cache in both directions: they are
 // neither served from it (cached plans assume the full federation) nor
 // stored in it (the exclusion is transient — the failed remote is expected
 // back). The master cannot be excluded; it anchors every plan.
-func (o *Optimizer) PlanExcluding(stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
+func (o *Optimizer) PlanExcludingCtx(ctx context.Context, stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
 	if o.Catalog == nil || o.Grid == nil || o.Estimators == nil || o.Estimators.Len() == 0 {
 		return nil, fmt.Errorf("optimizer: catalog, grid, and estimators are required")
 	}
@@ -161,15 +175,21 @@ func (o *Optimizer) PlanExcluding(stmt *sqlparse.SelectStmt, exclude map[string]
 	if exclude[querygrid.Master] {
 		return nil, fmt.Errorf("optimizer: the master %q cannot be excluded", querygrid.Master)
 	}
+	sp := trace.SpanFromContext(ctx)
 	if o.Cache == nil || len(exclude) > 0 {
-		return o.planUncached(stmt, exclude)
+		if sp != nil && len(exclude) > 0 {
+			sp.SetAttr("cache", "bypass")
+		}
+		return o.planUncached(ctx, stmt, exclude)
 	}
 	key := stmt.String()
 	gen := o.generation()
 	if p, ok := o.Cache.get(key, gen); ok {
+		sp.SetAttr("cache", "hit")
 		return p, nil
 	}
-	p, err := o.planUncached(stmt, nil)
+	sp.SetAttr("cache", "miss")
+	p, err := o.planUncached(ctx, stmt, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +212,7 @@ func (o *Optimizer) generation() uint64 {
 }
 
 // planUncached runs the full candidate enumeration.
-func (o *Optimizer) planUncached(stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
+func (o *Optimizer) planUncached(ctx context.Context, stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
 	a, err := analyze(stmt, o.Catalog)
 	if err != nil {
 		return nil, err
@@ -201,11 +221,11 @@ func (o *Optimizer) planUncached(stmt *sqlparse.SelectStmt, exclude map[string]b
 	var p *Plan
 	switch {
 	case len(stmt.Joins) > 0:
-		p, err = o.planJoin(a)
+		p, err = o.planJoin(ctx, a)
 	case stmt.HasAggregates() || len(stmt.GroupBy) > 0:
-		p, err = o.planAgg(a)
+		p, err = o.planAgg(ctx, a)
 	default:
-		p, err = o.planScan(a)
+		p, err = o.planScan(ctx, a)
 	}
 	if err != nil {
 		return nil, err
@@ -347,8 +367,31 @@ func (o *Optimizer) scanCandidate(in scanInput, sys string, ce core.Estimate) (c
 	return c, nil
 }
 
+// costSpan opens one candidate-costing span (nil on untraced contexts) and
+// annotates it with the placement being priced.
+func costSpan(ctx context.Context, operator, system string) *trace.Span {
+	_, sp := trace.Start(ctx, "cost")
+	if sp != nil {
+		sp.SetSystem(system)
+		sp.SetAttr("operator", operator)
+	}
+	return sp
+}
+
+// endCostSpan closes a costing span with the estimate it produced.
+func endCostSpan(sp *trace.Span, ce core.Estimate, err error) {
+	if sp == nil {
+		return
+	}
+	if err == nil {
+		sp.SetAttr("approach", string(ce.Approach))
+		sp.SetFloat("estimated_sec", ce.Seconds)
+	}
+	sp.EndErr(err)
+}
+
 // planScan places a single-table filter/project.
-func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
+func (o *Optimizer) planScan(ctx context.Context, a *analyzed) (*Plan, error) {
 	in, err := o.scanInputFor(a)
 	if err != nil {
 		return nil, err
@@ -362,7 +405,9 @@ func (o *Optimizer) planScan(a *analyzed) (*Plan, error) {
 		if err != nil {
 			return candidate{}, err
 		}
+		sp := costSpan(ctx, "scan", sys)
 		ce, err := est.EstimateScan(in.spec)
+		endCostSpan(sp, ce, err)
 		if err != nil {
 			return candidate{}, fmt.Errorf("optimizer: scan estimate on %q: %w", sys, err)
 		}
@@ -463,7 +508,7 @@ func (o *Optimizer) aggCandidate(in aggInput, sys string, ce core.Estimate) (can
 }
 
 // planAgg places a single-table aggregation.
-func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
+func (o *Optimizer) planAgg(ctx context.Context, a *analyzed) (*Plan, error) {
 	in, err := o.aggInputFor(a)
 	if err != nil {
 		return nil, err
@@ -474,7 +519,9 @@ func (o *Optimizer) planAgg(a *analyzed) (*Plan, error) {
 		if err != nil {
 			return candidate{}, err
 		}
+		sp := costSpan(ctx, "aggregation", sys)
 		ce, err := est.EstimateAgg(in.spec)
+		endCostSpan(sp, ce, err)
 		if err != nil {
 			return candidate{}, fmt.Errorf("optimizer: aggregation estimate on %q: %w", sys, err)
 		}
@@ -536,7 +583,7 @@ func (a *analyzed) resolveJoins() ([]joinStep, error) {
 // transfers plus estimated execution; intermediate results stay where they
 // were produced until a cheaper placement pulls them (Section 2's "results
 // ... may remain on that remote system for further computations").
-func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
+func (o *Optimizer) planJoin(ctx context.Context, a *analyzed) (*Plan, error) {
 	steps, err := a.resolveJoins()
 	if err != nil {
 		return nil, err
@@ -667,7 +714,10 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 					Rows: nxt.Rows, RowSize: nxt.RowSize, EstimatedSec: sec})
 				opt.cost += sec
 			}
+			sp := costSpan(ctx, "join", sys)
+			sp.SetInt("join", i+1)
 			ce, err := est.EstimateJoin(spec)
+			endCostSpan(sp, ce, err)
 			if err != nil {
 				return option{}, fmt.Errorf("optimizer: join estimate on %q: %w", sys, err)
 			}
@@ -731,7 +781,9 @@ func (o *Optimizer) planJoin(a *analyzed) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := costSpan(ctx, "aggregation", curLoc)
 		ace, err := est.EstimateAgg(aggSpec)
+		endCostSpan(sp, ace, err)
 		if err != nil {
 			return nil, fmt.Errorf("optimizer: post-join aggregation on %q: %w", curLoc, err)
 		}

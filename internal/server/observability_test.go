@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestQueryTraceParam(t *testing.T) {
+	srv, eng := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/query?trace=1", "application/json",
+		strings.NewReader(`{"sql": "SELECT a5, COUNT(a1) FROM t1000000_250 GROUP BY a5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		ActualSec float64 `json:"actual_sec"`
+		Trace     *struct {
+			ID   uint64 `json:"id"`
+			Root struct {
+				Name     string            `json:"name"`
+				Children []json.RawMessage `json:"children"`
+			} `json:"root"`
+		} `json:"trace"`
+		TraceText string `json:"trace_text"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || out.Trace.Root.Name != "query" || len(out.Trace.Root.Children) == 0 {
+		t.Fatalf("trace payload = %+v", out.Trace)
+	}
+	for _, want := range []string{"trace #", "parse", "plan", "cost on ", "execute", "aggregation on "} {
+		if !strings.Contains(out.TraceText, want) {
+			t.Errorf("trace_text missing %q:\n%s", want, out.TraceText)
+		}
+	}
+	if eng.Stats().Traces != 1 {
+		t.Errorf("engine recorded %d traces", eng.Stats().Traces)
+	}
+
+	// An untraced query on the same server stays trace-free.
+	var plain map[string]json.RawMessage
+	getJSON(t, srv.URL+"/query?q=SELECT+a1+FROM+t10000_100", &plain)
+	if _, ok := plain["trace"]; ok {
+		t.Error("untraced response carries a trace")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var empty []json.RawMessage
+	getJSON(t, srv.URL+"/trace", &empty)
+	if len(empty) != 0 {
+		t.Fatalf("fresh server has %d traces", len(empty))
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/query?trace=true&q=SELECT+a1+FROM+t10000_100")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var traces []struct {
+		ID  uint64 `json:"id"`
+		SQL string `json:"sql"`
+	}
+	getJSON(t, srv.URL+"/trace?n=2", &traces)
+	if len(traces) != 2 || traces[0].ID != 3 || traces[1].ID != 2 {
+		t.Fatalf("traces = %+v, want IDs 3,2 newest-first", traces)
+	}
+	resp, err := http.Get(srv.URL + "/trace?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "trace #3") || !strings.Contains(string(body), "execute") {
+		t.Errorf("text rendering:\n%s", body)
+	}
+}
+
+// promSampleRe matches one exposition sample line: a metric name, optional
+// labels, and a float value.
+var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+// checkPromFormat is a strict text-exposition (0.0.4) parser: every line is
+// a well-formed comment or sample, every sample's base name is declared by a
+// preceding # TYPE, histogram buckets are cumulative with an +Inf bucket
+// matching _count, and no value is NaN or infinite (everything here must
+// also survive JSON).
+func checkPromFormat(t *testing.T, body string) (samples map[string]float64) {
+	t.Helper()
+	samples = map[string]float64{}
+	typed := map[string]string{}
+	var lastBucket = map[string]float64{} // metric name -> last cumulative bucket count
+	sc := bufio.NewScanner(strings.NewReader(body))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Errorf("line %d: malformed comment %q", line, text)
+				continue
+			}
+			if fields[1] == "TYPE" {
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(text)
+		if m == nil {
+			t.Errorf("line %d: malformed sample %q", line, text)
+			continue
+		}
+		name, labels, valText := m[1], m[2], m[3]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if bn := strings.TrimSuffix(name, suffix); bn != name && typed[bn] == "histogram" {
+				base = bn
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Errorf("line %d: sample %q has no preceding # TYPE", line, name)
+		}
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil || valText == "NaN" || strings.Contains(valText, "Inf") {
+			t.Errorf("line %d: bad value %q", line, valText)
+			continue
+		}
+		samples[name+labels] = v
+		if strings.HasSuffix(name, "_bucket") {
+			hist := strings.TrimSuffix(name, "_bucket")
+			if v < lastBucket[hist] {
+				t.Errorf("line %d: histogram %s buckets not cumulative (%v after %v)", line, hist, v, lastBucket[hist])
+			}
+			lastBucket[hist] = v
+			if strings.Contains(labels, `le="+Inf"`) {
+				if count, ok := samples[hist+"_count"]; ok && count != v {
+					t.Errorf("%s: +Inf bucket %v != _count %v", hist, v, count)
+				}
+				delete(lastBucket, hist)
+			}
+		}
+		if strings.HasSuffix(name, "_count") {
+			hist := strings.TrimSuffix(name, "_count")
+			if inf, ok := samples[hist+`_bucket{le="+Inf"}`]; ok && inf != v {
+				t.Errorf("%s: _count %v != +Inf bucket %v", hist, v, inf)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestPromMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Work the counters: queries (one traced), a batch, an error.
+	for _, path := range []string{
+		"/query?q=SELECT+a1+FROM+t10000_100",
+		"/query?trace=1&q=SELECT+a5,+COUNT(a1)+FROM+t1000000_250+GROUP+BY+a5",
+		"/query?q=SELECT+nope+FROM+missing",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPromFormat(t, string(raw))
+
+	if got := samples["intellisphere_queries_total"]; got != 3 {
+		t.Errorf("queries_total = %v, want 3", got)
+	}
+	if got := samples["intellisphere_query_errors_total"]; got != 1 {
+		t.Errorf("query_errors_total = %v, want 1", got)
+	}
+	if got := samples["intellisphere_traces_total"]; got != 1 {
+		t.Errorf("traces_total = %v, want 1", got)
+	}
+	if got := samples["intellisphere_parse_seconds_count"]; got != 3 {
+		t.Errorf("parse_seconds_count = %v, want 3", got)
+	}
+	// Per-estimator accuracy gauges carry (system, operator) labels.
+	var sawAccuracy bool
+	for k := range samples {
+		if strings.HasPrefix(k, "intellisphere_estimator_mean_q_error{") &&
+			strings.Contains(k, `system="`) && strings.Contains(k, `operator="`) {
+			sawAccuracy = true
+		}
+	}
+	if !sawAccuracy {
+		t.Error("no labeled estimator accuracy samples in exposition")
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	srv, _ := newTestServer(t)
+	big := `{"sql": "SELECT a1 FROM t10000_100 -- ` + strings.Repeat("x", maxBodyBytes) + `"}`
+	for _, path := range []string{"/query", "/query/batch"} {
+		body := big
+		if path == "/query/batch" {
+			body = "[" + big + "]"
+		}
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s: 413 body is not JSON: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized status = %d, want 413", path, resp.StatusCode)
+		}
+		if out["error"] == "" {
+			t.Errorf("%s oversized response missing error field", path)
+		}
+	}
+	// A normal-sized body still works after the cap.
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"sql": "SELECT a1 FROM t10000_100"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("normal body after cap = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"intellisphere/internal/metrics"
+	"intellisphere/internal/resilience"
+)
+
+// handlePromMetrics serves every serving counter in the Prometheus text
+// exposition format (version 0.0.4), hand-rendered — the format is a few
+// lines of framing, not worth a client library: per-stage latency
+// histograms with cumulative le buckets, plan-cache and resilience
+// counters, per-breaker state gauges, and the per-(system, operator)
+// estimator-accuracy windows as labeled gauges.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	var b strings.Builder
+
+	gauge(&b, "intellisphere_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	gauge(&b, "intellisphere_qps", "Queries per second over a sliding 60s window.", s.qps.Rate())
+	counter(&b, "intellisphere_queries_total", "Queries accepted (scalar and batch statements).", float64(st.Queries))
+	counter(&b, "intellisphere_query_errors_total", "Queries that failed to parse, plan, or execute.", float64(st.QueryErrors))
+	counter(&b, "intellisphere_traces_total", "Traced queries recorded into the trace ring.", float64(st.Traces))
+	gauge(&b, "intellisphere_feedback_backlog", "Estimator feedback items queued but not yet applied.", float64(st.FeedbackBacklog))
+
+	counter(&b, "intellisphere_plan_cache_hits_total", "Plan-cache hits.", float64(st.PlanCache.Hits))
+	counter(&b, "intellisphere_plan_cache_misses_total", "Plan-cache misses.", float64(st.PlanCache.Misses))
+	counter(&b, "intellisphere_plan_cache_stale_total", "Plan-cache entries invalidated by a generation bump.", float64(st.PlanCache.Stale))
+	counter(&b, "intellisphere_plan_cache_evicted_total", "Plan-cache LRU evictions.", float64(st.PlanCache.Evicted))
+	gauge(&b, "intellisphere_plan_cache_size", "Plans currently cached.", float64(st.PlanCache.Size))
+
+	counter(&b, "intellisphere_retries_total", "Remote plan-step calls repeated after a transient failure.", float64(st.Resilience.Retries))
+	counter(&b, "intellisphere_fallbacks_total", "Degraded re-plans (one per excluded system).", float64(st.Resilience.Fallbacks))
+	counter(&b, "intellisphere_degraded_queries_total", "Queries answered by a fallback plan.", float64(st.Resilience.DegradedQueries))
+
+	histogram(&b, "intellisphere_parse_seconds", "Statement parse latency.", st.Parse)
+	histogram(&b, "intellisphere_plan_seconds", "Plan construction latency (cache hits included).", st.Plan)
+	histogram(&b, "intellisphere_execute_seconds", "Plan execution wall time.", st.Execute)
+
+	writeBreakers(&b, st.Resilience.Breakers)
+	writeAccuracy(&b, st.Accuracy)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// writeBreakers renders per-remote circuit-breaker gauges, sorted by system
+// for a stable exposition. State encodes 0=closed, 1=open, 2=half-open.
+func writeBreakers(b *strings.Builder, brs map[string]resilience.BreakerSnapshot) {
+	if len(brs) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(brs))
+	for k := range brs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	header(b, "intellisphere_breaker_state", "Circuit-breaker state per remote (0=closed, 1=open, 2=half-open).", "gauge")
+	for _, k := range keys {
+		fmt.Fprintf(b, "intellisphere_breaker_state{system=\"%s\"} %d\n", escapeLabel(k), int(brs[k].State))
+	}
+	header(b, "intellisphere_breaker_opens_total", "Times each remote's breaker opened.", "counter")
+	for _, k := range keys {
+		fmt.Fprintf(b, "intellisphere_breaker_opens_total{system=\"%s\"} %d\n", escapeLabel(k), brs[k].Opens)
+	}
+	header(b, "intellisphere_breaker_rejected_total", "Calls rejected while each remote's breaker was open.", "counter")
+	for _, k := range keys {
+		fmt.Fprintf(b, "intellisphere_breaker_rejected_total{system=\"%s\"} %d\n", escapeLabel(k), brs[k].Rejected)
+	}
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func header(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func counter(b *strings.Builder, name, help string, v float64) {
+	header(b, name, help, "counter")
+	fmt.Fprintf(b, "%s %s\n", name, promFloat(v))
+}
+
+func gauge(b *strings.Builder, name, help string, v float64) {
+	header(b, name, help, "gauge")
+	fmt.Fprintf(b, "%s %s\n", name, promFloat(v))
+}
+
+// histogram renders one latency histogram with cumulative le buckets, the
+// +Inf bucket (overflow included), and the _sum/_count pair.
+func histogram(b *strings.Builder, name, help string, s metrics.HistogramSnapshot) {
+	header(b, name, help, "histogram")
+	var cum uint64
+	for _, bk := range s.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(bk.UpperBoundSec), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(s.SumSeconds))
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+}
+
+// writeAccuracy renders the estimator-accuracy windows as labeled gauges:
+// one sample per (system, operator) pair and statistic.
+func writeAccuracy(b *strings.Builder, acc map[string]metrics.AccuracySnapshot) {
+	if len(acc) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type stat struct {
+		name, help string
+		value      func(metrics.AccuracySnapshot) float64
+	}
+	stats := []stat{
+		{"intellisphere_estimator_observations_total", "Lifetime (predicted, observed) pairs scored.",
+			func(s metrics.AccuracySnapshot) float64 { return float64(s.Count) }},
+		{"intellisphere_estimator_mean_q_error", "Mean q-error over the rolling window (1 is perfect).",
+			func(s metrics.AccuracySnapshot) float64 { return s.MeanQError }},
+		{"intellisphere_estimator_p95_q_error", "95th-percentile q-error over the rolling window.",
+			func(s metrics.AccuracySnapshot) float64 { return s.P95QError }},
+		{"intellisphere_estimator_max_q_error", "Maximum q-error over the rolling window.",
+			func(s metrics.AccuracySnapshot) float64 { return s.MaxQError }},
+		{"intellisphere_estimator_mape_percent", "Mean absolute percentage error over the rolling window.",
+			func(s metrics.AccuracySnapshot) float64 { return s.MAPEPercent }},
+		{"intellisphere_estimator_drifting", "1 when the window's mean q-error exceeds the drift threshold.",
+			func(s metrics.AccuracySnapshot) float64 {
+				if s.Drifting {
+					return 1
+				}
+				return 0
+			}},
+	}
+	for _, st := range stats {
+		typ := "gauge"
+		if strings.HasSuffix(st.name, "_total") {
+			typ = "counter"
+		}
+		header(b, st.name, st.help, typ)
+		for _, k := range keys {
+			system, operator := splitAccuracyKey(k)
+			fmt.Fprintf(b, "%s{system=\"%s\",operator=\"%s\"} %s\n",
+				st.name, escapeLabel(system), escapeLabel(operator), promFloat(st.value(acc[k])))
+		}
+	}
+}
+
+// splitAccuracyKey splits the engine's "system/operator" accuracy key.
+func splitAccuracyKey(k string) (system, operator string) {
+	if i := strings.LastIndex(k, "/"); i >= 0 {
+		return k[:i], k[i+1:]
+	}
+	return k, ""
+}

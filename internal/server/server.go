@@ -9,31 +9,46 @@
 //	POST /explain      {"sql": "..."}  plan only, returns the rendered plan
 //	GET  /profiles                     registered systems and their estimators
 //	GET  /metrics                      QPS, per-stage latency, cache hit rate,
-//	                                   feedback backlog
+//	                                   feedback backlog, estimator accuracy
+//	GET  /metrics/prom                 the same counters in the Prometheus
+//	                                   text exposition format (0.0.4)
+//	GET  /trace                        recent traced queries as span trees
+//	                                   (?n= bounds, ?format=text renders)
 //	GET  /health                       federation availability: circuit-breaker
 //	                                   states, retry/fallback counters; 503
 //	                                   while any breaker is open
 //
 // /query and /explain also accept GET with a ?q= parameter for curl
-// convenience. Every handler is wrapped in http.TimeoutHandler so a slow
-// request cannot hold a connection forever, and /query additionally
-// threads the request context into the engine so a timed-out or abandoned
-// request cancels its remaining plan steps. The engine underneath is safe
-// for whatever concurrency net/http throws at it.
+// convenience; /query?trace=1 additionally records and returns the query's
+// span tree (the serving stack's EXPLAIN ANALYZE). Every handler is wrapped
+// in http.TimeoutHandler so a slow request cannot hold a connection forever,
+// request bodies are capped with http.MaxBytesReader (413 beyond 1 MiB), and
+// /query threads the request context into the engine so a timed-out or
+// abandoned request cancels its remaining plan steps. The engine underneath
+// is safe for whatever concurrency net/http throws at it.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"intellisphere/internal/core/hybrid"
 	"intellisphere/internal/engine"
 	"intellisphere/internal/faults"
 	"intellisphere/internal/metrics"
+	"intellisphere/internal/trace"
 )
+
+// maxBodyBytes bounds every request body (http.MaxBytesReader): a
+// misbehaving client gets 413, not an unbounded read into memory. 1 MiB
+// comfortably fits the largest sane statement batch.
+const maxBodyBytes = 1 << 20
 
 // Server serves one engine.
 type Server struct {
@@ -71,6 +86,8 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 	mux.Handle("/explain", bound(s.handleExplain))
 	mux.Handle("/profiles", bound(s.handleProfiles))
 	mux.Handle("/metrics", bound(s.handleMetrics))
+	mux.Handle("/metrics/prom", bound(s.handlePromMetrics))
+	mux.Handle("/trace", bound(s.handleTrace))
 	mux.Handle("/health", bound(s.handleHealth))
 	mux.Handle("/faults", bound(s.handleFaults))
 	return mux
@@ -82,22 +99,34 @@ type statementRequest struct {
 }
 
 // readSQL extracts the statement from a JSON body (POST) or the q parameter
-// (GET).
-func readSQL(r *http.Request) (string, error) {
+// (GET). Bodies are capped at maxBodyBytes.
+func readSQL(w http.ResponseWriter, r *http.Request) (string, error) {
 	if q := r.URL.Query().Get("q"); q != "" {
 		return q, nil
 	}
 	if r.Body == nil {
 		return "", fmt.Errorf("missing statement: POST {\"sql\": ...} or GET ?q=...")
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req statementRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return "", fmt.Errorf("decode request: %v", err)
+		return "", fmt.Errorf("decode request: %w", err)
 	}
 	if req.SQL == "" {
 		return "", fmt.Errorf("empty sql field")
 	}
 	return req.SQL, nil
+}
+
+// requestStatus maps a request-reading error onto its HTTP status: an
+// over-limit body (http.MaxBytesError from the capped reader) is 413,
+// everything else is a plain bad request.
+func requestStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -123,6 +152,10 @@ type queryResponse struct {
 	Excluded     []string    `json:"excluded,omitempty"`
 	Columns      []string    `json:"columns,omitempty"`
 	Rows         [][]float64 `json:"rows,omitempty"`
+	// Trace carries the query's span tree and its EXPLAIN ANALYZE-style
+	// rendering when the request asked for ?trace=1.
+	Trace     *trace.Trace `json:"trace,omitempty"`
+	TraceText string       `json:"trace_text,omitempty"`
 }
 
 // toQueryResponse maps an engine result onto the wire shape shared by
@@ -144,13 +177,36 @@ func toQueryResponse(sql string, res *engine.QueryResult) queryResponse {
 	return resp
 }
 
+// wantTrace reports whether the request opted into per-query tracing
+// (?trace=1 or ?trace=true).
+func wantTrace(r *http.Request) bool {
+	v, _ := strconv.ParseBool(r.URL.Query().Get("trace"))
+	return v
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	sql, err := readSQL(r)
+	sql, err := readSQL(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, requestStatus(err), err)
 		return
 	}
 	s.qps.Tick()
+	if wantTrace(r) {
+		res, tr, err := s.eng.QueryTraced(r.Context(), sql)
+		if err != nil {
+			// The trace survives the failure: slow failures are exactly
+			// what the span tree is for.
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": err.Error(), "trace_text": tr.Render(),
+			})
+			return
+		}
+		resp := toQueryResponse(sql, res)
+		resp.Trace = tr
+		resp.TraceText = tr.Render()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	res, err := s.eng.QueryContext(r.Context(), sql)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -162,13 +218,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // readBatch decodes a /query/batch body: a JSON array whose elements are
 // either {"sql": "..."} objects or bare statement strings (the two forms may
 // mix).
-func readBatch(r *http.Request) ([]string, error) {
+func readBatch(w http.ResponseWriter, r *http.Request) ([]string, error) {
 	if r.Body == nil {
 		return nil, fmt.Errorf("missing batch: POST [{\"sql\": ...}, ...] or [\"...\", ...]")
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var raw []json.RawMessage
 	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
-		return nil, fmt.Errorf("decode request: %v", err)
+		return nil, fmt.Errorf("decode request: %w", err)
 	}
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("empty batch")
@@ -197,9 +254,9 @@ func readBatch(r *http.Request) ([]string, error) {
 // is either a /query result or {"sql": ..., "error": ...}, so one failed
 // statement never fails its neighbors.
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
-	sqls, err := readBatch(r)
+	sqls, err := readBatch(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, requestStatus(err), err)
 		return
 	}
 	items := s.eng.QueryBatch(r.Context(), sqls)
@@ -222,9 +279,9 @@ type explainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	sql, err := readSQL(r)
+	sql, err := readSQL(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, requestStatus(err), err)
 		return
 	}
 	s.qps.Tick()
@@ -279,6 +336,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		QPS:       s.qps.Rate(),
 		Engine:    s.eng.Stats(),
 	})
+}
+
+// handleTrace serves the recent-traces ring: GET /trace returns the last
+// traced queries as JSON span trees, newest first; ?n= bounds the count and
+// ?format=text renders each trace as an EXPLAIN ANALYZE-style tree instead.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	traces := s.eng.RecentTraces(n)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(traces) == 0 {
+			io.WriteString(w, "no traces recorded; run a query with ?trace=1\n")
+			return
+		}
+		for _, t := range traces {
+			io.WriteString(w, t.Render())
+		}
+		return
+	}
+	if traces == nil {
+		traces = []*trace.Trace{}
+	}
+	writeJSON(w, http.StatusOK, traces)
 }
 
 // faultStatus reports one injector on /faults.

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats the trace as an EXPLAIN ANALYZE-style tree: one line per
+// span, indented by depth, with the span's system, annotations, duration,
+// and error (when any).
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace #%d (%.3fms): %s\n", t.ID, float64(t.DurationNanos)/1e6, t.SQL)
+	if t.Error != "" {
+		fmt.Fprintf(&b, "error: %s\n", t.Error)
+	}
+	renderSpan(&b, t.Root, 1)
+	return b.String()
+}
+
+// renderSpan writes one span line and recurses into its children.
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	if s == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Name)
+	if s.System != "" {
+		fmt.Fprintf(b, " on %s", s.System)
+	}
+	for _, a := range s.Attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	fmt.Fprintf(b, "  %.3fms", float64(s.DurationNanos)/1e6)
+	if s.Error != "" {
+		fmt.Fprintf(b, "  ERROR: %s", s.Error)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(b, c, depth+1)
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a fixed-size lock-free buffer of the most recent traces. Writers
+// claim a slot with one atomic increment and publish the trace with one
+// atomic store; readers snapshot slots without blocking writers. Old traces
+// are overwritten, never freed in place, so a reader holding a *Trace keeps
+// a consistent (finished) tree.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// DefaultRingSize is the trace buffer capacity when none is configured.
+const DefaultRingSize = 64
+
+// NewRing builds a ring holding the last n traces (n <= 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Record publishes a finished trace, assigning it the next trace ID
+// (IDs start at 1 and never repeat).
+func (r *Ring) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	id := r.next.Add(1)
+	t.ID = id
+	r.slots[int((id-1)%uint64(len(r.slots)))].Store(t)
+}
+
+// Count reports how many traces were ever recorded.
+func (r *Ring) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Recent returns up to n of the most recent traces, newest first (n <= 0
+// selects the whole buffer). Concurrent writers may overwrite the oldest
+// slots mid-snapshot; the returned traces are individually consistent.
+func (r *Ring) Recent(n int) []*Trace {
+	if r == nil {
+		return nil
+	}
+	if n <= 0 || n > len(r.slots) {
+		n = len(r.slots)
+	}
+	newest := r.next.Load()
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		id := newest - uint64(i)
+		if id == 0 {
+			break
+		}
+		t := r.slots[int((id-1)%uint64(len(r.slots)))].Load()
+		// A slot may briefly hold an older (already overwritten) or newer
+		// trace than the one addressed; keep whatever is published — the
+		// endpoint serves "recent traces", not an exact log.
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+#!/bin/sh
+# Observability smoke for cmd/serve: start the server with pprof enabled,
+# run a traced query and assert the span tree names, fetch the trace ring,
+# check /metrics/prom looks like the Prometheus text exposition, and hit
+# one pprof endpoint. Used by `make trace-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${TRACE_SMOKE_ADDR:-127.0.0.1:18082}
+BIN=$(mktemp -d)/serve
+LOG=$(mktemp)
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+$GO build -o "$BIN" ./cmd/serve
+
+"$BIN" -addr "$ADDR" -pprof >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until curl -sf "http://$ADDR/profiles" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "trace-smoke: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "trace-smoke: server exited early; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# A traced query must return the span tree with the full pipeline: parse,
+# plan with candidate costing spans, execute with a per-step operator span.
+out=$(curl -sf "http://$ADDR/query?trace=1" \
+    -d '{"sql": "SELECT a2, COUNT(a1) FROM t1000000_100 GROUP BY a2"}')
+for want in '"trace"' '"trace_text"' 'parse' 'plan' 'cost on ' 'execute' 'aggregation on '; do
+    echo "$out" | grep -q "$want" || {
+        echo "trace-smoke: traced /query response missing $want: $out" >&2
+        exit 1
+    }
+done
+
+# The ring replays it on /trace in both shapes.
+curl -sf "http://$ADDR/trace" | grep -q '"root"' || {
+    echo "trace-smoke: /trace JSON missing span tree" >&2
+    exit 1
+}
+curl -sf "http://$ADDR/trace?format=text" | grep -q 'trace #1' || {
+    echo "trace-smoke: /trace text rendering missing trace #1" >&2
+    exit 1
+}
+
+# /metrics/prom must speak the text exposition format: TYPE comments, the
+# serving counters, a cumulative histogram with an +Inf bucket, and the
+# labeled estimator-accuracy gauges.
+prom=$(curl -sf "http://$ADDR/metrics/prom")
+for want in \
+    '# TYPE intellisphere_queries_total counter' \
+    '# TYPE intellisphere_parse_seconds histogram' \
+    'intellisphere_parse_seconds_bucket{le="+Inf"}' \
+    'intellisphere_estimator_mean_q_error{system=' \
+    'intellisphere_breaker_state{system='; do
+    echo "$prom" | grep -qF "$want" || {
+        echo "trace-smoke: /metrics/prom missing $want" >&2
+        echo "$prom" | head -40 >&2
+        exit 1
+    }
+done
+# Every non-comment line is "name[{labels}] value".
+bad=$(echo "$prom" | grep -v '^#' | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eE]+$' || true)
+if [ -n "$bad" ]; then
+    echo "trace-smoke: malformed exposition lines:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+# -pprof mounts the profiling surface.
+curl -sf "http://$ADDR/debug/pprof/cmdline" >/dev/null || {
+    echo "trace-smoke: /debug/pprof/cmdline not served" >&2
+    exit 1
+}
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 60 ]; then
+        echo "trace-smoke: server did not shut down; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "trace-smoke: ok"
