@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke chaos ci
+.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos ci
 
 all: build
 
@@ -28,9 +28,10 @@ bench:
 	$(GO) test ./internal/nn -run '^$$' -bench BenchmarkNNTrain -benchtime 1x
 	$(GO) test ./internal/optimizer -run '^$$' -bench BenchmarkOptimizerPlan -benchtime 1x
 
-# Full benchmark run recorded as a JSON perf snapshot (BENCH_PR4.json):
-# ns/op plus B/op + allocs/op per benchmark, so the trajectory across PRs
-# stays diffable.
+# Full benchmark run recorded as a JSON perf snapshot (BENCH_PR6.json;
+# earlier BENCH_PR*.json files are history, never overwritten): ns/op plus
+# B/op + allocs/op per benchmark, so the trajectory across PRs stays
+# diffable.
 bench-snapshot:
 	GO="$(GO)" sh scripts/bench_snapshot.sh
 
@@ -51,6 +52,13 @@ smoke:
 trace-smoke:
 	GO="$(GO)" sh scripts/trace_smoke.sh
 
+# High-QPS serving smoke: 100 statements pipelined down one /query/stream
+# connection against a live cmd/serve (in-order, length-prefix-framed
+# responses asserted), then a saturation pass against a one-slot admission
+# gate: over-queue arrivals shed 503 + Retry-After, queued work completes.
+stream-smoke:
+	GO="$(GO)" sh scripts/stream_smoke.sh
+
 # Fault-injection suite: the seeded chaos tests under the race detector,
 # then an outage + recovery cycle driven against a live cmd/serve through
 # the /faults control plane.
@@ -58,4 +66,4 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/... -count=1
 	GO="$(GO)" sh scripts/chaos_serve.sh
 
-ci: vet build race bench bench-snapshot-smoke smoke trace-smoke chaos
+ci: vet build race bench bench-snapshot-smoke smoke trace-smoke stream-smoke chaos

@@ -11,6 +11,7 @@
 //
 //	POST /query        {"sql": "SELECT ..."}   plan + execute
 //	POST /query/batch  ["SELECT ...", ...]     plan together, execute in order
+//	POST /query/stream NDJSON statements       pipelined: length-prefixed frames back
 //	POST /explain      {"sql": "SELECT ..."}   plan only
 //	GET  /query?q=SELECT+...                   curl-friendly form of the above
 //	GET  /query?q=SELECT+...&trace=1           traced form: returns the span tree
@@ -26,6 +27,13 @@
 // cache is hot before the first client arrives. -pprof additionally mounts
 // the net/http/pprof profiling handlers under /debug/pprof/ (off by
 // default — profiling endpoints are not for unauthenticated exposure).
+//
+// The hot endpoints (/query, /query/batch, /query/stream) sit behind an
+// admission controller: -max-inflight caps concurrent work, -queue-depth
+// bounds the wait line (over-queue arrivals shed with 503 + Retry-After),
+// and -rate-limit arms a per-client token bucket keyed by the X-Client-ID
+// header (exceeders get 429). Admission decisions are counted on
+// /metrics/prom.
 //
 // Fault injection is seeded and deterministic; with all -fault-* flags at
 // zero (the default) every response is byte-identical to a build without
@@ -46,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"intellisphere/internal/admission"
 	"intellisphere/internal/demo"
 	"intellisphere/internal/faults"
 	"intellisphere/internal/resilience"
@@ -64,6 +73,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injector draw seed (same seed, same fault sequence)")
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that open a breaker (0 = default 5)")
 	breakerTimeout := flag.Duration("breaker-open-timeout", 0, "open-breaker rejection window before half-open probes (0 = default 10s)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission cap on concurrently executing requests (0 = default 64)")
+	queueDepth := flag.Int("queue-depth", 0, "bounded wait line beyond the in-flight cap; arrivals past it shed with 503 (0 = default 2x max-inflight)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client token-bucket refill in requests/sec, keyed by X-Client-ID (0 = unlimited)")
 	warm := flag.Bool("warm", false, "pre-plan the demo statement mix into the plan cache before serving")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	traceBuffer := flag.Int("trace-buffer", 0, "recent-trace ring capacity (0 = default 64, negative disables)")
@@ -104,7 +116,14 @@ func main() {
 		log.Printf("fault injection armed: transient %.2f latency %.2f (seed %d)", *faultTransient, *faultLatency, *faultSeed)
 	}
 
-	handler := server.New(eng).WithFaults(fed.Injectors).Handler(*timeout)
+	handler := server.New(eng).
+		WithFaults(fed.Injectors).
+		WithAdmission(admission.Config{
+			MaxInFlight: *maxInFlight,
+			QueueDepth:  *queueDepth,
+			RateLimit:   *rateLimit,
+		}).
+		Handler(*timeout)
 	if *pprofOn {
 		// The API mux is timeout-wrapped; pprof handlers must not be (a CPU
 		// profile legitimately streams for 30s), so they mount on an outer

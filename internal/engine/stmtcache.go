@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"intellisphere/internal/sqlparse"
 )
@@ -13,16 +14,35 @@ import (
 // plans, no generation tracking is needed. It removes the parse cost from
 // the repeated-statement serving path, leaving a plan-cache hit as a pair
 // of map lookups.
+//
+// A direct-mapped, lock-free front cache sits above the LRU: one atomic
+// pointer per slot indexed by a cheap hash of the SQL text. Hot statements
+// hit the front slots without touching the mutex or the recency list. Since
+// entries never go stale, a front slot outliving its LRU entry is harmless;
+// the only cost of a front hit is a skipped recency bump, which at serving
+// QPS the frequent misses-to-LRU of the same statement repair.
 type stmtCache struct {
+	front   [stmtFrontSlots]atomic.Pointer[stmtEntry]
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List
 	entries map[string]*list.Element
 }
 
+const stmtFrontSlots = 256 // power of two
+
 type stmtEntry struct {
 	sql  string
 	stmt *sqlparse.SelectStmt
+}
+
+// stmtSlot hashes the SQL text to a front-cache slot (FNV-1a).
+func stmtSlot(sql string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(sql); i++ {
+		h = (h ^ uint64(sql[i])) * 1099511628211
+	}
+	return h & (stmtFrontSlots - 1)
 }
 
 func newStmtCache(capacity int) *stmtCache {
@@ -33,25 +53,34 @@ func newStmtCache(capacity int) *stmtCache {
 }
 
 func (c *stmtCache) get(sql string) (*sqlparse.SelectStmt, bool) {
+	slot := stmtSlot(sql)
+	if e := c.front[slot].Load(); e != nil && e.sql == sql {
+		return e.stmt, true
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.entries[sql]
 	if !ok {
+		c.mu.Unlock()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*stmtEntry).stmt, true
+	e := el.Value.(*stmtEntry)
+	c.mu.Unlock()
+	c.front[slot].Store(e)
+	return e.stmt, true
 }
 
 func (c *stmtCache) put(sql string, stmt *sqlparse.SelectStmt) {
+	e := &stmtEntry{sql: sql, stmt: stmt}
+	c.front[stmtSlot(sql)].Store(e)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[sql]; ok {
-		el.Value.(*stmtEntry).stmt = stmt
+		el.Value = e
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[sql] = c.ll.PushFront(&stmtEntry{sql: sql, stmt: stmt})
+	c.entries[sql] = c.ll.PushFront(e)
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

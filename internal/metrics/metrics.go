@@ -64,6 +64,29 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.overflow.Add(1)
 }
 
+// ObserveN records n observations of d each. Batch callers use it to
+// attribute a batch's elapsed time across its statements with one bucket
+// walk and three atomic adds instead of n of each.
+func (h *Histogram) ObserveN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	sec := d.Seconds()
+	if sec < 0 {
+		sec, d = 0, 0
+	}
+	un := uint64(n)
+	h.count.Add(un)
+	h.sumNanos.Add(un * uint64(d.Nanoseconds()))
+	for i, b := range h.bounds {
+		if sec <= b {
+			h.counts[i].Add(un)
+			return
+		}
+	}
+	h.overflow.Add(un)
+}
+
 // Bucket is one histogram bucket in a snapshot.
 type Bucket struct {
 	UpperBoundSec float64 `json:"le"`

@@ -52,6 +52,7 @@ type Distributed struct {
 	noise float64
 	seed  int64
 	skew  float64
+	memo  execMemos
 }
 
 var _ System = (*Distributed)(nil)
@@ -207,6 +208,11 @@ func (d *Distributed) ExecuteJoinWith(spec plan.JoinSpec, alg JoinAlgorithm) (Ex
 	if err := spec.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", d.name, err)
 	}
+	jk := joinMemoKey{spec: spec, alg: alg}
+	jh := hashJoinKey(jk)
+	if ex, ok := d.memo.join.get(jh, jk); ok {
+		return ex, nil
+	}
 	var sec float64
 	switch alg {
 	case HiveBroadcastJoin, SparkBroadcastHashJoin:
@@ -232,9 +238,12 @@ func (d *Distributed) ExecuteJoinWith(spec plan.JoinSpec, alg JoinAlgorithm) (Ex
 	default:
 		return Execution{}, fmt.Errorf("remote %q: unsupported join algorithm %q", d.name, alg)
 	}
-	key := fmt.Sprintf("join|%s|%v", alg, spec.Dims())
-	sec *= noise(key, d.seed, d.noise)
-	return Execution{ElapsedSec: sec, Algorithm: string(alg)}, nil
+	var kb [256]byte
+	key := newNoiseKey(kb[:], "join|").str(string(alg)).sep().joinDims(spec)
+	sec *= noiseBytes(key, d.seed, d.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: string(alg)}
+	d.memo.join.put(jh, jk, ex)
+	return ex, nil
 }
 
 // broadcastJoinTime implements the Figure 6 workflow: the driver reads the
@@ -410,6 +419,10 @@ func (d *Distributed) ExecuteAgg(spec plan.AggSpec) (Execution, error) {
 	if err := spec.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", d.name, err)
 	}
+	ah := hashAggSpec(spec)
+	if ex, ok := d.memo.agg.get(ah, spec); ok {
+		return ex, nil
+	}
 	mapTasks := d.cfg.NumTasks(spec.InputRows * spec.InputRowSize)
 	mapWaves := d.cfg.TaskWaves(mapTasks)
 	aggFactor := 1 + 0.15*float64(spec.NumAggregates)
@@ -435,9 +448,12 @@ func (d *Distributed) ExecuteAgg(spec plan.AggSpec) (Execution, error) {
 	sec := d.over.JobStartupSec +
 		float64(mapWaves)*(d.over.TaskOverheadSec+mapUS/float64(mapTasks)/1e6) +
 		d.over.StageStartupSec + d.over.TaskOverheadSec + redUS/float64(redTasks)/1e6
-	key := fmt.Sprintf("agg|%v", spec.Dims())
-	sec *= noise(key, d.seed, d.noise)
-	return Execution{ElapsedSec: sec, Algorithm: "hash_aggregation"}, nil
+	var kb [160]byte
+	key := newNoiseKey(kb[:], "agg|").aggDims(spec)
+	sec *= noiseBytes(key, d.seed, d.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: "hash_aggregation"}
+	d.memo.agg.put(ah, spec, ex)
+	return ex, nil
 }
 
 // ExecuteScan implements System: a map-only filter/project stage.
@@ -445,15 +461,24 @@ func (d *Distributed) ExecuteScan(spec plan.ScanSpec) (Execution, error) {
 	if err := spec.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", d.name, err)
 	}
+	sh := hashScanSpec(spec)
+	if ex, ok := d.memo.scan.get(sh, spec); ok {
+		return ex, nil
+	}
 	tasks := d.cfg.NumTasks(spec.InputRows * spec.InputRowSize)
 	waves := d.cfg.TaskWaves(tasks)
 	us := spec.InputRows*(d.costs.At(ReadDFS, spec.InputRowSize, true)+d.costs.At(Scan, spec.InputRowSize, true)) +
 		spec.OutputRows()*d.costs.At(WriteDFS, spec.OutputRowSize, true)
 	us *= d.over.PipelineFactor
 	sec := d.over.JobStartupSec + float64(waves)*(d.over.TaskOverheadSec+us/float64(tasks)/1e6)
-	key := fmt.Sprintf("scan|%v|%v|%v|%v", spec.InputRows, spec.InputRowSize, spec.Selectivity, spec.OutputRowSize)
-	sec *= noise(key, d.seed, d.noise)
-	return Execution{ElapsedSec: sec, Algorithm: "scan"}, nil
+	var kb [160]byte
+	key := newNoiseKey(kb[:], "scan|").
+		float(spec.InputRows).sep().float(spec.InputRowSize).sep().
+		float(spec.Selectivity).sep().float(spec.OutputRowSize)
+	sec *= noiseBytes(key, d.seed, d.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: "scan"}
+	d.memo.scan.put(sh, spec, ex)
+	return ex, nil
 }
 
 // ExecuteProbe implements System. Probes follow the Figure 5 footnote
@@ -462,6 +487,10 @@ func (d *Distributed) ExecuteScan(spec plan.ScanSpec) (Execution, error) {
 func (d *Distributed) ExecuteProbe(p Probe) (Execution, error) {
 	if err := p.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", d.name, err)
+	}
+	ph := hashProbe(p)
+	if ex, ok := d.memo.probe.get(ph, p); ok {
+		return ex, nil
 	}
 	read := d.costs.At(ReadDFS, p.RecordSize, true)
 	var extra float64
@@ -500,7 +529,12 @@ func (d *Distributed) ExecuteProbe(p Probe) (Execution, error) {
 	waves := d.cfg.TaskWaves(tasks)
 	perTaskUS := p.Records / float64(tasks) * (read + extra)
 	sec := d.over.JobStartupSec + float64(waves)*(d.over.TaskOverheadSec+perTaskUS/1e6)
-	key := fmt.Sprintf("probe|%v|%v|%v|%v", p.Target, p.Records, p.RecordSize, p.BuildBytes)
-	sec *= noise(key, d.seed, d.noise)
-	return Execution{ElapsedSec: sec, Algorithm: "probe:" + p.Target.String()}, nil
+	var kb [160]byte
+	key := newNoiseKey(kb[:], "probe|").
+		str(p.Target.String()).sep().float(p.Records).sep().
+		float(p.RecordSize).sep().float(p.BuildBytes)
+	sec *= noiseBytes(key, d.seed, d.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: "probe:" + p.Target.String()}
+	d.memo.probe.put(ph, p, ex)
+	return ex, nil
 }

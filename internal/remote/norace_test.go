@@ -1,0 +1,5 @@
+//go:build !race
+
+package remote
+
+const raceEnabled = false

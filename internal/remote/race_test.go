@@ -1,0 +1,7 @@
+//go:build race
+
+package remote
+
+// raceEnabled gates allocation-pinning tests: race instrumentation adds
+// allocations that are not present in production builds.
+const raceEnabled = true

@@ -18,6 +18,7 @@ type RDBMS struct {
 	over  Overheads
 	noise float64
 	seed  int64
+	memo  execMemos
 }
 
 var _ System = (*RDBMS)(nil)
@@ -90,6 +91,11 @@ func (r *RDBMS) ExecuteJoin(spec plan.JoinSpec) (Execution, error) {
 	if err := spec.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", r.name, err)
 	}
+	jk := joinMemoKey{spec: spec}
+	jh := hashJoinKey(jk)
+	if ex, ok := r.memo.join.get(jh, jk); ok {
+		return ex, nil
+	}
 	alg := r.SelectJoinAlgorithm(spec)
 	outSize := spec.OutputRowSize()
 	s, _ := spec.SmallSide()
@@ -112,15 +118,22 @@ func (r *RDBMS) ExecuteJoin(spec plan.JoinSpec) (Execution, error) {
 	}
 	workUS *= r.over.PipelineFactor
 	sec := r.over.JobStartupSec + workUS/r.streams()/1e6
-	key := fmt.Sprintf("rdbms-join|%s|%v", alg, spec.Dims())
-	sec *= noise(key, r.seed, r.noise)
-	return Execution{ElapsedSec: sec, Algorithm: string(alg)}, nil
+	var kb [256]byte
+	key := newNoiseKey(kb[:], "rdbms-join|").str(string(alg)).sep().joinDims(spec)
+	sec *= noiseBytes(key, r.seed, r.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: string(alg)}
+	r.memo.join.put(jh, jk, ex)
+	return ex, nil
 }
 
 // ExecuteAgg implements System with a single-stage hash aggregation.
 func (r *RDBMS) ExecuteAgg(spec plan.AggSpec) (Execution, error) {
 	if err := spec.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", r.name, err)
+	}
+	ah := hashAggSpec(spec)
+	if ex, ok := r.memo.agg.get(ah, spec); ok {
+		return ex, nil
 	}
 	aggFactor := 1 + 0.15*float64(spec.NumAggregates)
 	inMem := r.cfg.FitsInMemory(spec.OutputRows * spec.OutputRowSize)
@@ -130,9 +143,12 @@ func (r *RDBMS) ExecuteAgg(spec plan.AggSpec) (Execution, error) {
 		spec.OutputRows*r.costs.At(WriteDFS, spec.OutputRowSize, true)
 	workUS *= r.over.PipelineFactor
 	sec := r.over.JobStartupSec + workUS/r.streams()/1e6
-	key := fmt.Sprintf("rdbms-agg|%v", spec.Dims())
-	sec *= noise(key, r.seed, r.noise)
-	return Execution{ElapsedSec: sec, Algorithm: "hash_aggregation"}, nil
+	var kb [160]byte
+	key := newNoiseKey(kb[:], "rdbms-agg|").aggDims(spec)
+	sec *= noiseBytes(key, r.seed, r.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: "hash_aggregation"}
+	r.memo.agg.put(ah, spec, ex)
+	return ex, nil
 }
 
 // ExecuteScan implements System.
@@ -140,19 +156,31 @@ func (r *RDBMS) ExecuteScan(spec plan.ScanSpec) (Execution, error) {
 	if err := spec.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", r.name, err)
 	}
+	sh := hashScanSpec(spec)
+	if ex, ok := r.memo.scan.get(sh, spec); ok {
+		return ex, nil
+	}
 	workUS := spec.InputRows*(r.costs.At(ReadDFS, spec.InputRowSize, true)+r.costs.At(Scan, spec.InputRowSize, true)) +
 		spec.OutputRows()*r.costs.At(WriteDFS, spec.OutputRowSize, true)
 	workUS *= r.over.PipelineFactor
 	sec := r.over.JobStartupSec + workUS/r.streams()/1e6
-	key := fmt.Sprintf("rdbms-scan|%v|%v|%v", spec.InputRows, spec.InputRowSize, spec.Selectivity)
-	sec *= noise(key, r.seed, r.noise)
-	return Execution{ElapsedSec: sec, Algorithm: "scan"}, nil
+	var kb [128]byte
+	key := newNoiseKey(kb[:], "rdbms-scan|").
+		float(spec.InputRows).sep().float(spec.InputRowSize).sep().float(spec.Selectivity)
+	sec *= noiseBytes(key, r.seed, r.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: "scan"}
+	r.memo.scan.put(sh, spec, ex)
+	return ex, nil
 }
 
 // ExecuteProbe implements System; single-node probes have no task waves.
 func (r *RDBMS) ExecuteProbe(p Probe) (Execution, error) {
 	if err := p.Validate(); err != nil {
 		return Execution{}, fmt.Errorf("remote %q: %w", r.name, err)
+	}
+	ph := hashProbe(p)
+	if ex, ok := r.memo.probe.get(ph, p); ok {
+		return ex, nil
 	}
 	read := r.costs.At(ReadDFS, p.RecordSize, true)
 	var extra float64
@@ -189,7 +217,11 @@ func (r *RDBMS) ExecuteProbe(p Probe) (Execution, error) {
 	waves := r.cfg.TaskWaves(tasks)
 	perTaskUS := p.Records / float64(tasks) * (read + extra)
 	sec := r.over.JobStartupSec + float64(waves)*perTaskUS/1e6
-	key := fmt.Sprintf("rdbms-probe|%v|%v|%v", p.Target, p.Records, p.RecordSize)
-	sec *= noise(key, r.seed, r.noise)
-	return Execution{ElapsedSec: sec, Algorithm: "probe:" + p.Target.String()}, nil
+	var kb [128]byte
+	key := newNoiseKey(kb[:], "rdbms-probe|").
+		str(p.Target.String()).sep().float(p.Records).sep().float(p.RecordSize)
+	sec *= noiseBytes(key, r.seed, r.noise)
+	ex := Execution{ElapsedSec: sec, Algorithm: "probe:" + p.Target.String()}
+	r.memo.probe.put(ph, p, ex)
+	return ex, nil
 }

@@ -72,21 +72,15 @@ type System interface {
 // from the key string and seed, so repeated identical queries time
 // identically (the simulator is reproducible) while distinct queries get
 // independent perturbations.
+// The hot paths render keys with the noiseKey builder and call noiseBytes
+// directly; this string form remains for tests and cold callers.
 func noise(key string, seed int64, amplitude float64) float64 {
 	if amplitude == 0 {
 		return 1
 	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s", seed, key)
-	v := h.Sum64()
-	// splitmix64 finalizer for better bit diffusion
-	v ^= v >> 30
-	v *= 0xbf58476d1ce4e5b9
-	v ^= v >> 27
-	v *= 0x94d049bb133111eb
-	v ^= v >> 31
-	u := float64(v>>11) / float64(1<<53) // uniform [0,1)
-	return 1 + amplitude*(2*u-1)
+	return noiseFinish(h.Sum64(), amplitude)
 }
 
 // sortUnit returns the per-record sort cost including the log-scaling term

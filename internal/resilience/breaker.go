@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -97,6 +98,13 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 // a generation counter, the same staleness signal internal/registry uses,
 // so consumers can cheaply detect "something changed since I looked".
 type Breaker struct {
+	// calm is 1 while the breaker is Closed with zero consecutive
+	// failures — the steady state on a healthy system. Allow and
+	// Record(success) short-circuit on it without taking mu, so the hot
+	// serving path pays two atomic loads instead of two mutex round trips
+	// per step. Every mutation of state or failures happens under mu and
+	// re-derives calm before releasing it.
+	calm     atomic.Int32
 	mu       sync.Mutex
 	cfg      BreakerConfig
 	state    State
@@ -111,7 +119,18 @@ type Breaker struct {
 
 // NewBreaker builds a closed breaker.
 func NewBreaker(cfg BreakerConfig) *Breaker {
-	return &Breaker{cfg: cfg.withDefaults()}
+	b := &Breaker{cfg: cfg.withDefaults()}
+	b.calm.Store(1)
+	return b
+}
+
+// syncCalm re-derives the lock-free steady-state flag. Caller holds mu.
+func (b *Breaker) syncCalm() {
+	if b.state == Closed && b.failures == 0 {
+		b.calm.Store(1)
+	} else {
+		b.calm.Store(0)
+	}
 }
 
 // Allow reports whether a call may proceed. Open breakers reject with
@@ -119,8 +138,15 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // admit up to HalfOpenProbes concurrent probes. Callers that got nil MUST
 // report the call's outcome via Record.
 func (b *Breaker) Allow() error {
+	// Steady state: closed with no recent failures — admit without the
+	// lock. A racing trip elsewhere is equivalent to this call having been
+	// admitted just before the breaker opened, which Record tolerates.
+	if b.calm.Load() == 1 {
+		return nil
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	defer b.syncCalm()
 	switch b.state {
 	case Closed:
 		return nil
@@ -147,8 +173,13 @@ func (b *Breaker) Allow() error {
 // say nothing about the system's health.
 func (b *Breaker) Record(err error) {
 	failed := err != nil && Infrastructural(err)
+	// Steady state: a success on a calm closed breaker changes nothing.
+	if !failed && b.calm.Load() == 1 {
+		return
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	defer b.syncCalm()
 	switch b.state {
 	case Closed:
 		if !failed {

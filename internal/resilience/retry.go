@@ -113,9 +113,23 @@ func uniform(seed int64, salt string, n int) float64 {
 // decision to the caller. It returns the number of attempts made alongside
 // the final error.
 func Retry(ctx context.Context, p RetryPolicy, salt string, attempt func(context.Context) error) (int, error) {
+	// First attempt inline: the overwhelmingly common success case pays no
+	// policy-default fill (a struct copy) and no retry-loop bookkeeping.
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, cerr
+	}
+	err := attempt(ctx)
+	if err == nil || !IsTransient(err) {
+		return 1, err
+	}
 	p = p.withDefaults()
-	var err error
-	for n := 1; ; n++ {
+	if 1 >= p.MaxAttempts {
+		return 1, err
+	}
+	if serr := p.Sleep(ctx, p.Delay(salt, 1)); serr != nil {
+		return 1, serr
+	}
+	for n := 2; ; n++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return n - 1, cerr
 		}

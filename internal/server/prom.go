@@ -35,6 +35,18 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(&b, "intellisphere_plan_cache_evicted_total", "Plan-cache LRU evictions.", float64(st.PlanCache.Evicted))
 	gauge(&b, "intellisphere_plan_cache_size", "Plans currently cached.", float64(st.PlanCache.Size))
 
+	adm := s.adm.Stats()
+	counter(&b, "intellisphere_admission_offered_total", "Requests that reached the hot-endpoint admission gate.", float64(adm.Offered))
+	counter(&b, "intellisphere_admission_admitted_total", "Requests granted an execution slot.", float64(adm.Admitted))
+	counter(&b, "intellisphere_admission_shed_queue_full_total", "Requests refused because the admission queue was full.", float64(adm.ShedQueueFull))
+	counter(&b, "intellisphere_admission_shed_deadline_total", "Requests shed because the estimated queue wait exceeded their deadline.", float64(adm.ShedDeadline))
+	counter(&b, "intellisphere_admission_rate_limited_total", "Requests refused by a per-client rate limit.", float64(adm.RateLimited))
+	counter(&b, "intellisphere_admission_canceled_total", "Requests whose client gave up while queued.", float64(adm.Canceled))
+	gauge(&b, "intellisphere_admission_in_flight", "Requests currently holding an execution slot.", float64(adm.InFlight))
+	gauge(&b, "intellisphere_admission_queued", "Requests currently waiting for a slot.", float64(adm.Queued))
+	counter(&b, "intellisphere_response_encode_errors_total", "Response encode/write failures.", float64(s.encodeErrors.Value()))
+	counter(&b, "intellisphere_stream_statements_total", "Statements answered over /query/stream.", float64(s.streamStatements.Value()))
+
 	counter(&b, "intellisphere_retries_total", "Remote plan-step calls repeated after a transient failure.", float64(st.Resilience.Retries))
 	counter(&b, "intellisphere_fallbacks_total", "Degraded re-plans (one per excluded system).", float64(st.Resilience.Fallbacks))
 	counter(&b, "intellisphere_degraded_queries_total", "Queries answered by a fallback plan.", float64(st.Resilience.DegradedQueries))

@@ -6,6 +6,11 @@
 //	                                   (amortizing parse, plan-cache, and
 //	                                   estimator work), execute in order;
 //	                                   returns one element per statement
+//	POST /query/stream NDJSON lines    persistent high-QPS pipeline: one
+//	                                   statement per line in, one
+//	                                   length-prefixed JSON frame per
+//	                                   statement out, in order, errors
+//	                                   isolated per slot
 //	POST /explain      {"sql": "..."}  plan only, returns the rendered plan
 //	GET  /profiles                     registered systems and their estimators
 //	GET  /metrics                      QPS, per-stage latency, cache hit rate,
@@ -20,24 +25,36 @@
 //
 // /query and /explain also accept GET with a ?q= parameter for curl
 // convenience; /query?trace=1 additionally records and returns the query's
-// span tree (the serving stack's EXPLAIN ANALYZE). Every handler is wrapped
-// in http.TimeoutHandler so a slow request cannot hold a connection forever,
-// request bodies are capped with http.MaxBytesReader (413 beyond 1 MiB), and
-// /query threads the request context into the engine so a timed-out or
-// abandoned request cancels its remaining plan steps. The engine underneath
-// is safe for whatever concurrency net/http throws at it.
+// span tree (the serving stack's EXPLAIN ANALYZE).
+//
+// The hot endpoints (/query, /query/batch, /query/stream) sit behind an
+// admission controller (internal/admission) instead of http.TimeoutHandler:
+// concurrency is capped, overflow queues up to a bound, hopeless requests
+// shed early with 503 + Retry-After, per-client rate limits answer 429, and
+// the request deadline travels the context into the engine so a timed-out
+// query cancels its remaining plan steps. Their responses render through
+// hand-rolled zero-allocation encoders over pooled buffers (encode.go),
+// byte-identical to the encoding/json output they replaced. Cold endpoints
+// keep http.TimeoutHandler. Request bodies are capped with
+// http.MaxBytesReader (413 beyond 1 MiB). The engine underneath is safe for
+// whatever concurrency net/http throws at it.
 package server
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"time"
 
+	"intellisphere/internal/admission"
 	"intellisphere/internal/core/hybrid"
 	"intellisphere/internal/engine"
 	"intellisphere/internal/faults"
@@ -50,18 +67,45 @@ import (
 // comfortably fits the largest sane statement batch.
 const maxBodyBytes = 1 << 20
 
+// ClientIDHeader names the request header whose value keys per-client
+// rate-limit buckets. Requests without it share the anonymous bucket.
+const ClientIDHeader = "X-Client-ID"
+
 // Server serves one engine.
 type Server struct {
-	eng    *engine.Engine
-	qps    *metrics.RateMeter
-	start  time.Time
-	faults map[string]*faults.Injector
+	eng     *engine.Engine
+	qps     *metrics.RateMeter
+	start   time.Time
+	faults  map[string]*faults.Injector
+	adm     *admission.Controller
+	timeout time.Duration
+	// encodeErrors counts response encode/write failures that writeJSON and
+	// the fast-path writers would otherwise swallow (satellite of the
+	// serving fast path: the error used to be silently discarded).
+	encodeErrors metrics.Counter
+	// streamStatements counts statements answered over /query/stream.
+	streamStatements metrics.Counter
 }
 
-// New wraps an engine for serving.
+// New wraps an engine for serving with default admission control on the hot
+// endpoints (64 in-flight, 128 queued, no rate limit).
 func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng, qps: metrics.NewRateMeter(), start: time.Now()}
+	return &Server{
+		eng: eng, qps: metrics.NewRateMeter(), start: time.Now(),
+		adm: admission.NewController(admission.Config{}),
+	}
 }
+
+// WithAdmission replaces the default admission controller, tuning the
+// concurrency cap, queue depth, and per-client rate limit of the hot
+// endpoints.
+func (s *Server) WithAdmission(cfg admission.Config) *Server {
+	s.adm = admission.NewController(cfg)
+	return s
+}
+
+// Admission exposes the controller's counters for observability surfaces.
+func (s *Server) Admission() admission.Stats { return s.adm.Stats() }
 
 // WithFaults enables the /faults chaos endpoint over the given per-system
 // injectors (typically demo.Federation.Injectors). Without it, /faults
@@ -77,12 +121,20 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	s.timeout = timeout
 	mux := http.NewServeMux()
 	bound := func(h http.HandlerFunc) http.Handler {
 		return http.TimeoutHandler(h, timeout, `{"error":"request timed out"}`)
 	}
-	mux.Handle("/query", bound(s.handleQuery))
-	mux.Handle("/query/batch", bound(s.handleQueryBatch))
+	// The hot endpoints go through admission control instead of
+	// http.TimeoutHandler: the deadline rides the request context (so a
+	// timed-out query cancels inside the engine rather than being abandoned
+	// on a watchdog goroutine), concurrency is capped by the controller's
+	// semaphore, and overload answers 503/429 with Retry-After instead of
+	// piling up goroutines.
+	mux.Handle("/query", s.admit(s.handleQuery))
+	mux.Handle("/query/batch", s.admit(s.handleQueryBatch))
+	mux.Handle("/query/stream", s.admitStream(s.handleQueryStream))
 	mux.Handle("/explain", bound(s.handleExplain))
 	mux.Handle("/profiles", bound(s.handleProfiles))
 	mux.Handle("/metrics", bound(s.handleMetrics))
@@ -129,16 +181,101 @@ func requestStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is gone; all that is left is to make the failure
+		// visible instead of dropping it on the floor.
+		s.encodeErrors.Inc()
+		log.Printf("server: encode response: %v", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError answers with the standard {"error": ...} frame through the
+// pooled fast-path encoder (error frames are hot under load shedding).
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	buf := getBuf()
+	enc := jw{b: buf}
+	encodeErrorFrame(&enc, err.Error())
+	buf.WriteByte('\n')
+	s.writeBuf(w, status, buf)
+	putBuf(buf)
+}
+
+// writeBuf flushes a pre-encoded JSON body, counting write failures.
+func (s *Server) writeBuf(w http.ResponseWriter, status int, buf *bytes.Buffer) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.encodeErrors.Inc()
+		log.Printf("server: write response: %v", err)
+	}
+}
+
+// errStatus maps an engine error onto its HTTP status: a deadline that
+// expired mid-query keeps the old http.TimeoutHandler's 503 semantics,
+// everything else is the client's bad statement.
+func errStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// admit wraps a hot handler with the admission gate: per-request deadline
+// on the context, a concurrency slot held for the handler's duration, and
+// shed/rate-limit verdicts turned into Retry-After responses.
+func (s *Server) admit(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		release, err := s.adm.Acquire(ctx, r.Header.Get(ClientIDHeader))
+		if err != nil {
+			s.writeShed(w, err)
+			return
+		}
+		defer release()
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// admitStream is admit for the streaming endpoint: the connection holds one
+// admission slot for its whole lifetime (each statement inside gets its own
+// deadline), so -max-inflight bounds streams and one-shot queries together.
+func (s *Server) admitStream(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.adm.Acquire(r.Context(), r.Header.Get(ClientIDHeader))
+		if err != nil {
+			s.writeShed(w, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	})
+}
+
+// writeShed answers an admission refusal: 429 for a rate-limited client,
+// 503 for a shed (full queue or hopeless deadline), both with a
+// Retry-After hint; a context error while queued reports the deadline.
+func (s *Server) writeShed(w http.ResponseWriter, err error) {
+	var shed *admission.ShedError
+	if !errors.As(err, &shed) {
+		s.writeError(w, errStatus(err), err)
+		return
+	}
+	status := http.StatusServiceUnavailable
+	if errors.Is(shed, admission.ErrRateLimited) {
+		status = http.StatusTooManyRequests
+	}
+	retry := int(shed.RetryAfter / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	s.writeError(w, status, err)
 }
 
 // queryResponse is the /query result.
@@ -187,7 +324,7 @@ func wantTrace(r *http.Request) bool {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sql, err := readSQL(w, r)
 	if err != nil {
-		writeError(w, requestStatus(err), err)
+		s.writeError(w, requestStatus(err), err)
 		return
 	}
 	s.qps.Tick()
@@ -196,7 +333,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// The trace survives the failure: slow failures are exactly
 			// what the span tree is for.
-			writeJSON(w, http.StatusBadRequest, map[string]string{
+			s.writeJSON(w, errStatus(err), map[string]string{
 				"error": err.Error(), "trace_text": tr.Render(),
 			})
 			return
@@ -204,15 +341,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp := toQueryResponse(sql, res)
 		resp.Trace = tr
 		resp.TraceText = tr.Render()
-		writeJSON(w, http.StatusOK, resp)
+		// Traced responses carry the span tree; they take the reflective
+		// encoder (tracing is opt-in diagnostics, not the hot path).
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	res, err := s.eng.QueryContext(r.Context(), sql)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, errStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toQueryResponse(sql, res))
+	resp := toQueryResponse(sql, res)
+	buf := getBuf()
+	enc := jw{b: buf}
+	encodeQueryResponse(&enc, &resp)
+	buf.WriteByte('\n')
+	s.writeBuf(w, http.StatusOK, buf)
+	putBuf(buf)
 }
 
 // readBatch decodes a /query/batch body: a JSON array whose elements are
@@ -256,20 +401,32 @@ func readBatch(w http.ResponseWriter, r *http.Request) ([]string, error) {
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	sqls, err := readBatch(w, r)
 	if err != nil {
-		writeError(w, requestStatus(err), err)
+		s.writeError(w, requestStatus(err), err)
 		return
 	}
 	items := s.eng.QueryBatch(r.Context(), sqls)
-	resp := make([]any, len(items))
+	buf := getBuf()
+	enc := jw{b: buf}
+	buf.WriteByte('[')
+	enc.depth++
 	for i, it := range items {
 		s.qps.Tick()
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		enc.newline()
 		if it.Err != nil {
-			resp[i] = map[string]string{"sql": sqls[i], "error": it.Err.Error()}
+			encodeStatementError(&enc, sqls[i], it.Err.Error())
 			continue
 		}
-		resp[i] = toQueryResponse(sqls[i], it.Res)
+		resp := toQueryResponse(sqls[i], it.Res)
+		encodeQueryResponse(&enc, &resp)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	enc.depth--
+	enc.newline()
+	buf.WriteString("]\n")
+	s.writeBuf(w, http.StatusOK, buf)
+	putBuf(buf)
 }
 
 // explainResponse is the /explain result.
@@ -281,16 +438,16 @@ type explainResponse struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	sql, err := readSQL(w, r)
 	if err != nil {
-		writeError(w, requestStatus(err), err)
+		s.writeError(w, requestStatus(err), err)
 		return
 	}
 	s.qps.Tick()
 	out, err := s.eng.Explain(sql)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, explainResponse{SQL: sql, Explain: out})
+	s.writeJSON(w, http.StatusOK, explainResponse{SQL: sql, Explain: out})
 }
 
 // profileInfo describes one registered system on /profiles.
@@ -320,7 +477,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // metricsResponse is the /metrics payload.
@@ -331,7 +488,7 @@ type metricsResponse struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metricsResponse{
+	s.writeJSON(w, http.StatusOK, metricsResponse{
 		UptimeSec: time.Since(s.start).Seconds(),
 		QPS:       s.qps.Rate(),
 		Engine:    s.eng.Stats(),
@@ -358,7 +515,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if traces == nil {
 		traces = []*trace.Trace{}
 	}
-	writeJSON(w, http.StatusOK, traces)
+	s.writeJSON(w, http.StatusOK, traces)
 }
 
 // faultStatus reports one injector on /faults.
@@ -379,22 +536,22 @@ type faultRequest struct {
 // forces (or lifts) a full outage on one remote.
 func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	if s.faults == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("fault injection not enabled"))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("fault injection not enabled"))
 		return
 	}
 	if r.Method == http.MethodPost {
 		var req faultRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %v", err))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %v", err))
 			return
 		}
 		inj, ok := s.faults[req.System]
 		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown system %q", req.System))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown system %q", req.System))
 			return
 		}
 		inj.SetOutage(req.Outage)
-		writeJSON(w, http.StatusOK, faultStatus{System: req.System, Down: inj.Down(), Stats: inj.Stats()})
+		s.writeJSON(w, http.StatusOK, faultStatus{System: req.System, Down: inj.Down(), Stats: inj.Stats()})
 		return
 	}
 	out := make([]faultStatus, 0, len(s.faults))
@@ -402,7 +559,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		out = append(out, faultStatus{System: name, Down: inj.Down(), Stats: inj.Stats()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].System < out[j].System })
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealth reports federation availability. Load balancers get the
@@ -415,5 +572,123 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if h.OpenCount > 0 {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, h)
+	s.writeJSON(w, status, h)
+}
+
+// maxStreamLine bounds one statement line on /query/stream; the stream
+// itself is unbounded — that is the point.
+const maxStreamLine = maxBodyBytes
+
+// handleQueryStream serves POST /query/stream: a persistent, pipelined
+// high-QPS protocol over one HTTP request. The client sends statements as
+// newline-delimited JSON — each line a bare JSON string, a {"sql": ...}
+// object, or raw SQL text — and the server answers every statement in
+// order with a length-prefixed JSON frame:
+//
+//	<decimal byte count>\n
+//	<exactly that many bytes: a /query response or error frame>
+//
+// The length prefix lets clients split frames without parsing JSON; the
+// frame bodies are byte-identical to /query responses (same encoder), so a
+// streaming client and a one-shot client see the same shapes. Errors are
+// isolated per slot exactly as in /query/batch: a statement that fails to
+// parse, plan, or execute answers {"error": ..., "sql": ...} and the
+// stream continues. Each statement runs under its own deadline; the
+// connection as a whole holds one admission slot (see admitStream).
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST statements as NDJSON"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// HTTP/1.x servers drain the unread request body before the first
+	// response flush; a pipelined client that waits for frame N before
+	// sending statement N+1 would deadlock against that drain. Full-duplex
+	// mode disables it so requests and responses interleave freely.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil && err != http.ErrNotSupported {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("stream unsupported: %v", err))
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	buf := getBuf()
+	defer putBuf(buf)
+	var prefix [20]byte
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		sql, perr := streamStatement(line)
+		s.qps.Tick()
+		s.streamStatements.Inc()
+		buf.Reset()
+		enc := jw{b: buf}
+		switch {
+		case perr != nil:
+			encodeStatementError(&enc, string(line), perr.Error())
+		default:
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			res, err := s.eng.QueryContext(ctx, sql)
+			cancel()
+			if err != nil {
+				encodeStatementError(&enc, sql, err.Error())
+			} else {
+				resp := toQueryResponse(sql, res)
+				encodeQueryResponse(&enc, &resp)
+			}
+		}
+		buf.WriteByte('\n')
+		hdr := strconv.AppendInt(prefix[:0], int64(buf.Len()), 10)
+		hdr = append(hdr, '\n')
+		if _, err := w.Write(hdr); err != nil {
+			s.encodeErrors.Inc()
+			return
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			s.encodeErrors.Inc()
+			return
+		}
+		if err := rc.Flush(); err != nil && err != http.ErrNotSupported {
+			s.encodeErrors.Inc()
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Mid-stream read failure: frames already sent stand; nothing more
+		// can be promised on a broken pipe, so just log the cause.
+		s.encodeErrors.Inc()
+		log.Printf("server: query stream read: %v", err)
+	}
+}
+
+// streamStatement extracts the SQL from one stream line: a JSON string, a
+// {"sql": ...} object, or (anything else) raw SQL text.
+func streamStatement(line []byte) (string, error) {
+	switch line[0] {
+	case '"':
+		var sql string
+		if err := json.Unmarshal(line, &sql); err != nil {
+			return "", fmt.Errorf("bad statement line: %v", err)
+		}
+		if sql == "" {
+			return "", fmt.Errorf("empty sql")
+		}
+		return sql, nil
+	case '{':
+		var req statementRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			return "", fmt.Errorf("bad statement line: %v", err)
+		}
+		if req.SQL == "" {
+			return "", fmt.Errorf("empty sql field")
+		}
+		return req.SQL, nil
+	default:
+		return string(line), nil
+	}
 }

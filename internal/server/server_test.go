@@ -16,8 +16,9 @@ import (
 	"intellisphere/internal/remote"
 )
 
-// newTestServer builds a one-remote federation behind an httptest server.
-func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+// newBenchEngine builds the shared one-remote test federation; it serves
+// both tests and benchmarks (testing.TB).
+func newBenchEngine(t testing.TB) *engine.Engine {
 	t.Helper()
 	e, err := engine.New(engine.Config{Seed: 9})
 	if err != nil {
@@ -45,6 +46,13 @@ func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 	if err := e.Materialize("t10000_100"); err != nil {
 		t.Fatal(err)
 	}
+	return e
+}
+
+// newTestServer builds a one-remote federation behind an httptest server.
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	e := newBenchEngine(t)
 	srv := httptest.NewServer(New(e).Handler(10 * time.Second))
 	t.Cleanup(srv.Close)
 	return srv, e

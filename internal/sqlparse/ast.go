@@ -164,6 +164,13 @@ type SelectStmt struct {
 	GroupBy []ColRef
 	OrderBy []OrderItem
 	Limit   int64
+
+	// canon is the memoized String rendering. Parse fills it before the
+	// statement is published, so the serving path (which keys plan-cache
+	// lookups on the canonical text, potentially on every request) reads a
+	// field instead of re-rendering the tree. Hand-built statements leave it
+	// empty and pay the rendering on each String call.
+	canon string
 }
 
 // Join returns the first join clause, or nil — a convenience for the common
@@ -185,9 +192,19 @@ func (s *SelectStmt) HasAggregates() bool {
 	return false
 }
 
-// String renders the statement back to SQL (used by tests and the CLI's
-// EXPLAIN output).
+// String renders the statement back to SQL. Statements built by Parse carry
+// a memoized rendering (the optimizer keys its plan cache on this text, so
+// the hot serving path must not re-render per lookup); hand-built statements
+// render on every call.
 func (s *SelectStmt) String() string {
+	if s.canon != "" {
+		return s.canon
+	}
+	return s.render()
+}
+
+// render builds the SQL text from the tree.
+func (s *SelectStmt) render() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	for i, it := range s.Items {

@@ -19,6 +19,10 @@ func Parse(sql string) (*SelectStmt, error) {
 	if !p.at(tokEOF, "") {
 		return nil, p.errorf("trailing input starting with %q", p.cur().text)
 	}
+	// Memoize the canonical rendering before the statement escapes: parsed
+	// statements are immutable downstream and shared across goroutines (the
+	// engine's statement LRU), so the one writer is here, pre-publication.
+	stmt.canon = stmt.render()
 	return stmt, nil
 }
 

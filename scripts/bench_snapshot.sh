@@ -2,12 +2,13 @@
 # Record the perf trajectory: run the benchmark suite and emit a JSON
 # snapshot (ns/op, and B/op + allocs/op where the benchmark reports them)
 # keyed by benchmark name. Used by `make bench-snapshot` (full run, writes
-# BENCH_PR4.json) and by `make ci` (BENCHTIME=1x smoke into a throwaway
-# file, just to prove the suite and the parser still work).
+# BENCH_PR6.json; earlier snapshots like BENCH_PR4.json are historical
+# records and are never overwritten) and by `make ci` (BENCHTIME=1x smoke
+# into a throwaway file, just to prove the suite and the parser still work).
 set -eu
 
 GO=${GO:-go}
-OUT=${BENCH_OUT:-BENCH_PR4.json}
+OUT=${BENCH_OUT:-BENCH_PR6.json}
 BENCHTIME=${BENCHTIME:-1s}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
@@ -21,6 +22,7 @@ run() {
 run ./internal/nn 'BenchmarkNNTrain|BenchmarkForwardBatch|BenchmarkPredictAll'
 run ./internal/optimizer 'BenchmarkOptimizerPlan'
 run ./internal/engine 'BenchmarkExplain|BenchmarkServeQueryBatch'
+run ./internal/server 'BenchmarkStreamVsHTTP'
 
 awk '
 BEGIN { print "{"; first = 1 }

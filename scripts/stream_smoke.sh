@@ -1,0 +1,156 @@
+#!/bin/sh
+# Streaming-protocol smoke: build cmd/serve with a deliberately tiny
+# admission gate, pipeline 100 statements down ONE /query/stream connection
+# and assert the length-prefixed responses come back complete and in order,
+# then saturate the gate (a held-open stream owns the only slot) and assert
+# the over-queue arrival sheds with 503 + Retry-After while the queued
+# request still completes. Used by `make stream-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${SMOKE_ADDR:-127.0.0.1:18083}
+WORK=$(mktemp -d)
+BIN=$WORK/serve
+LOG=$WORK/serve.log
+FIFO=$WORK/stream.fifo
+
+cleanup() {
+    exec 9>&- 2>/dev/null || true
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+$GO build -o "$BIN" ./cmd/serve
+
+"$BIN" -addr "$ADDR" -max-inflight 1 -queue-depth 1 >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until curl -sf "http://$ADDR/profiles" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "stream-smoke: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "stream-smoke: server exited early; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# --- 1. Pipelining: 100 statements, one connection, in-order frames. -----
+# Each statement carries its sequence number as the predicate literal; the
+# response echoes the SQL back, so frame order is checkable from the echoes
+# (the encoder HTML-escapes '<' to \u003c, hence the pattern below).
+N=100
+seq 1 $N | awk '{printf "SELECT a1 FROM t10000_100 WHERE a1 < %d\n", $1}' |
+    curl -sf --no-buffer --max-time 120 -X POST \
+        -H 'Content-Type: application/x-ndjson' --data-binary @- \
+        "http://$ADDR/query/stream" >"$WORK/frames"
+
+got=$(grep -c '"sql"' "$WORK/frames" || true)
+if [ "$got" -ne "$N" ]; then
+    echo "stream-smoke: want $N response frames, got $got" >&2
+    exit 1
+fi
+grep -o 'WHERE a1 \\u003c [0-9]*' "$WORK/frames" | awk '{print $NF}' >"$WORK/order"
+if ! seq 1 $N | cmp -s - "$WORK/order"; then
+    echo "stream-smoke: frames out of order; got:" >&2
+    head -20 "$WORK/order" >&2
+    exit 1
+fi
+# Every frame must announce its exact body length on the preceding line.
+awk '
+    body > 0 { body -= length($0) + 1; next }
+    /^[0-9]+$/ { frames++; body = $1; next }
+    { print "unframed line: " $0; exit 1 }
+    END { if (body != 0) { print "last frame truncated"; exit 1 } }
+' "$WORK/frames" || { echo "stream-smoke: bad length-prefix framing" >&2; exit 1; }
+
+# --- 2. Saturation: stream holds the one slot, third arrival sheds. ------
+# The fifo keeps the request body open, so the connection — and its
+# admission slot — stays held until fd 9 closes. (curl buffers the response
+# until its upload ends, so the slot is observed via the admission gauge,
+# not the frame; the frame itself is checked after the close below.)
+mkfifo "$FIFO"
+curl -s --no-buffer --max-time 120 -X POST \
+    -H 'Content-Type: application/x-ndjson' -T "$FIFO" \
+    "http://$ADDR/query/stream" >"$WORK/holdframes" &
+HOLD=$!
+exec 9>"$FIFO"
+printf 'SELECT a1 FROM t10000_100 WHERE a1 < 50\n' >&9
+
+i=0
+until curl -s "http://$ADDR/metrics/prom" | grep -q '^intellisphere_admission_in_flight 1'; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] || { sleep 0.1; continue; }
+    echo "stream-smoke: held stream never took the admission slot" >&2
+    exit 1
+done
+
+# Second request occupies the single queue slot. (Children forked from here
+# on would inherit fd 9 and keep the fifo — and so the stream's admission
+# slot — alive past the exec 9>&- below; close it in each of them.)
+curl -s --max-time 60 -o "$WORK/queued" -w '%{http_code}' \
+    "http://$ADDR/query?q=SELECT+a1+FROM+t10000_100+WHERE+a1+%3C+10" >"$WORK/queued_code" 9>&- &
+QWAIT=$!
+i=0
+until curl -s "http://$ADDR/metrics/prom" | grep -q '^intellisphere_admission_queued 1'; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] || { sleep 0.1; continue; }
+    echo "stream-smoke: second request never queued" >&2
+    exit 1
+done
+
+# ...so the third must shed: 503, Retry-After, and no long wait.
+code=$(curl -s --max-time 10 -D "$WORK/shed_headers" -o /dev/null -w '%{http_code}' \
+    "http://$ADDR/query?q=SELECT+a1+FROM+t10000_100+WHERE+a1+%3C+10" 9>&-)
+if [ "$code" != "503" ]; then
+    echo "stream-smoke: want 503 from saturated gate, got $code" >&2
+    exit 1
+fi
+if ! grep -qi '^retry-after: [0-9]' "$WORK/shed_headers"; then
+    echo "stream-smoke: 503 without Retry-After; headers:" >&2
+    cat "$WORK/shed_headers" >&2
+    exit 1
+fi
+
+# Close the stream: its slot frees, the queued request completes normally
+# and the held connection's one frame reaches the client.
+exec 9>&-
+wait "$QWAIT"
+wait "$HOLD" || { echo "stream-smoke: held stream curl failed" >&2; exit 1; }
+qcode=$(cat "$WORK/queued_code")
+if [ "$qcode" != "200" ]; then
+    echo "stream-smoke: queued request finished $qcode, want 200" >&2
+    curl -s "http://$ADDR/metrics/prom" | grep '^intellisphere_admission' >&2
+    exit 1
+fi
+grep -q '"sql"' "$WORK/holdframes" ||
+    { echo "stream-smoke: held stream returned no frame" >&2; exit 1; }
+
+curl -s "http://$ADDR/metrics/prom" >"$WORK/prom"
+grep -q '^intellisphere_admission_shed_queue_full_total 1' "$WORK/prom" ||
+    { echo "stream-smoke: shed counter missing" >&2; grep admission "$WORK/prom" >&2; exit 1; }
+grep -q '^intellisphere_stream_statements_total 101' "$WORK/prom" ||
+    { echo "stream-smoke: stream statement counter wrong" >&2; grep stream "$WORK/prom" >&2; exit 1; }
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 60 ]; then
+        echo "stream-smoke: server did not shut down; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "stream-smoke: ok"
