@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos ci
+.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke ci
 
 all: build
 
@@ -66,4 +66,12 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/... -count=1
 	GO="$(GO)" sh scripts/chaos_serve.sh
 
-ci: vet build race bench bench-snapshot-smoke smoke trace-smoke stream-smoke chaos
+# Adaptivity smoke: a live cmd/serve with the blackbox flink remote and a
+# fast drift tuner; a 20x latency regime injected through /faults must drive
+# the full loop — drift flagged, candidate retrained from executed-query
+# logs, shadow-scored, promoted (drift flag clears) — and POST /models must
+# roll the promotion back.
+tuner-smoke:
+	GO="$(GO)" sh scripts/tuner_smoke.sh
+
+ci: vet build race bench bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke

@@ -22,6 +22,17 @@
 //	GET  /health                               breaker states and fallback counters
 //	GET  /faults                               fault-injector switches and stats
 //	POST /faults   {"system": "hive", "outage": true}       force/lift an outage
+//	POST /faults   {"system": "hive", "rates": {...}}       dial fault rates live
+//	GET  /models                               model versions per tunable system
+//	POST /models   {"action": "tune", "system": ...}        candidate tune/rollback
+//
+// -logical-remote adds a fourth, blackbox remote ("flink") whose cost
+// models are logical-op neural networks — the family the feedback loop can
+// retrain. -tune-interval arms the background drift tuner over it (and any
+// other profile-backed system): accuracy windows that stay above the drift
+// threshold trigger a candidate retrain, shadow-scored against the live
+// model on held-out executions and promoted only on improvement.
+// -tune-drift-q, -tune-holdout, and -tune-min-log tune the loop.
 //
 // -warm pre-plans the demo statement mix (demo.Statements) so the plan
 // cache is hot before the first client arrives. -pprof additionally mounts
@@ -56,7 +67,9 @@ import (
 
 	"intellisphere/internal/admission"
 	"intellisphere/internal/demo"
+	"intellisphere/internal/engine"
 	"intellisphere/internal/faults"
+	"intellisphere/internal/nn"
 	"intellisphere/internal/resilience"
 	"intellisphere/internal/server"
 )
@@ -79,6 +92,11 @@ func main() {
 	warm := flag.Bool("warm", false, "pre-plan the demo statement mix into the plan cache before serving")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	traceBuffer := flag.Int("trace-buffer", 0, "recent-trace ring capacity (0 = default 64, negative disables)")
+	logicalRemote := flag.Bool("logical-remote", false, "add the blackbox 'flink' remote with logical-op (tunable) cost models")
+	tuneInterval := flag.Duration("tune-interval", 0, "drift-tuner poll period (0 disables the background tuner)")
+	tuneDriftQ := flag.Float64("tune-drift-q", 0, "mean q-error above which the tuner treats a model as drifting (0 = default 2.0)")
+	tuneHoldout := flag.Int("tune-holdout", 0, "per-model holdout records withheld for candidate shadow scoring (0 = default 8)")
+	tuneMinLog := flag.Int("tune-min-log", 0, "minimum per-model execution log before a candidate tune (0 = default 16)")
 	flag.Parse()
 
 	log.Printf("building demo federation (seed %d)...", *seed)
@@ -96,7 +114,8 @@ func main() {
 			FailureThreshold: *breakerFailures,
 			OpenTimeout:      *breakerTimeout,
 		},
-		TraceBuffer: *traceBuffer,
+		TraceBuffer:   *traceBuffer,
+		LogicalRemote: *logicalRemote,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -114,6 +133,22 @@ func main() {
 	}
 	if *faultTransient > 0 || *faultLatency > 0 {
 		log.Printf("fault injection armed: transient %.2f latency %.2f (seed %d)", *faultTransient, *faultLatency, *faultSeed)
+	}
+	var tuner *engine.Tuner
+	if *tuneInterval > 0 {
+		tuner = eng.StartTuner(engine.TunerConfig{
+			Interval: *tuneInterval,
+			DriftQ:   *tuneDriftQ,
+			Tune: engine.TuneOptions{
+				Holdout: *tuneHoldout,
+				MinLog:  *tuneMinLog,
+				// A bounded retraining pass keeps tune latency predictable on
+				// a live server; candidates that need more epochs can be
+				// force-tuned through POST /models.
+				Train: nn.TrainConfig{Iterations: 300, LearningRate: 0.01, BatchSize: 32, Optimizer: nn.Adam, Seed: *seed},
+			},
+		})
+		log.Printf("drift tuner armed: interval %s", *tuneInterval)
 	}
 
 	handler := server.New(eng).
@@ -165,6 +200,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if tuner != nil {
+			tuner.Stop()
 		}
 		eng.FlushFeedback()
 		log.Print("bye")

@@ -522,6 +522,32 @@ func (m *Model) Observe(x []float64, actualSec, nnSec, regSec float64) {
 	})
 }
 
+// LogRecords returns a deep copy of the pending execution log. The tuner
+// uses it to carry the live model's log into a candidate clone (the model
+// JSON wire format deliberately excludes the log, so a serialized clone
+// starts empty) and to hold out the most recent records for shadow scoring.
+func (m *Model) LogRecords() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, len(m.logRec))
+	for i, r := range m.logRec {
+		out[i] = r
+		out[i].X = append([]float64(nil), r.X...)
+	}
+	return out
+}
+
+// SeedLog appends records to the pending execution log (deep-copied), so a
+// candidate clone can be tuned from another model's logged executions.
+func (m *Model) SeedLog(recs []Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range recs {
+		r.X = append([]float64(nil), r.X...)
+		m.logRec = append(m.logRec, r)
+	}
+}
+
 // RefitAlpha recomputes α from the remedy-produced log records, minimizing
 // the squared error of α·c1 + (1-α)·c2 against the observed costs (the
 // closed-form least-squares solution, clamped to (0,1)). Returns the new α

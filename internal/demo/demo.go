@@ -8,6 +8,7 @@ package demo
 
 import (
 	"intellisphere/internal/cluster"
+	"intellisphere/internal/core/logicalop"
 	"intellisphere/internal/core/subop"
 	"intellisphere/internal/datagen"
 	"intellisphere/internal/engine"
@@ -37,6 +38,14 @@ type Config struct {
 	// TraceBuffer passes through to the engine's trace ring (0 = default
 	// size, negative disables).
 	TraceBuffer int
+	// LogicalRemote additionally stands up a fourth, blackbox remote
+	// ("flink") whose cost models are logical-op neural networks trained by
+	// executing the Figure 10 workloads — the only model family the
+	// feedback/tuning loop can retrain, which is what the drift-tuner smoke
+	// needs. Off by default: training executes real workload queries at
+	// build time, and the default federation's outputs must stay
+	// byte-identical with the option off.
+	LogicalRemote bool
 }
 
 // Federation is the built demo plus the chaos controls over it: every
@@ -175,12 +184,69 @@ func BuildFederation(cfg Config) (*Federation, error) {
 			return nil, err
 		}
 	}
+	armed := []string{"hive", "spark", "presto"}
+	if cfg.LogicalRemote {
+		if err := addLogicalRemote(eng, injectors, cfg.Seed); err != nil {
+			return nil, err
+		}
+		armed = append(armed, "flink")
+	}
 	// Arm the injectors only now, after training, with a per-remote draw
-	// seed so the three systems' fault sequences de-correlate.
-	for i, name := range []string{"hive", "spark", "presto"} {
+	// seed so the systems' fault sequences de-correlate.
+	for i, name := range armed {
 		c := cfg.Faults
 		c.Seed = cfg.Faults.Seed + int64(i)
 		injectors[name].Configure(c)
 	}
 	return &Federation{Engine: eng, Injectors: injectors}, nil
+}
+
+// addLogicalRemote stands up the blackbox "flink" remote: two tables of its
+// own and logical-op models trained by executing the join/aggregation/scan
+// workloads against it (trimmed sizes — the point is a tunable model, not
+// the paper's full training budget). Its tables register straight into the
+// catalog before the system exists, the same bootstrap the training tests
+// use, because logical-op training discovers its workload from the catalog.
+func addLogicalRemote(eng *engine.Engine, injectors map[string]*faults.Injector, seed int64) error {
+	flinkCluster := cluster.DefaultHive()
+	flinkCluster.Name = "flink-vm"
+	flink, err := remote.NewSpark("flink", flinkCluster, remote.Options{Seed: seed + 4})
+	if err != nil {
+		return err
+	}
+	inj := faults.Wrap(flink, faults.Config{})
+	injectors["flink"] = inj
+	// The big table matters: at 40 GB, shipping it over QueryGrid dwarfs any
+	// local operator, so the optimizer keeps flink's aggregations on flink —
+	// which is what feeds the logical models' execution logs.
+	for _, spec := range []struct {
+		rows int64
+		size int
+	}{
+		{80000000, 500},
+		{500000, 250},
+	} {
+		tb, err := datagen.Table(spec.rows, spec.size, "flink")
+		if err != nil {
+			return err
+		}
+		if err := eng.Catalog().Register(tb); err != nil {
+			return err
+		}
+	}
+	lcfg := func(dim int, s int64) logicalop.Config {
+		c := logicalop.DefaultConfig(dim, s)
+		c.NN.Train.Iterations = 200
+		c.NN.Train.BatchSize = 32
+		return c
+	}
+	_, _, err = eng.RegisterRemoteLogicalOp(inj, remote.EngineSpark, engine.LogicalTrainOptions{
+		JoinPairs: 24,
+		TrainScan: true,
+		Join:      lcfg(7, seed+42),
+		Agg:       lcfg(4, seed+43),
+		Scan:      lcfg(4, seed+44),
+		Seed:      seed + 4,
+	})
+	return err
 }

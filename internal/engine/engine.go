@@ -25,6 +25,7 @@ import (
 	"intellisphere/internal/core/logicalop"
 	"intellisphere/internal/core/subop"
 	"intellisphere/internal/metrics"
+	"intellisphere/internal/modelver"
 	"intellisphere/internal/nn"
 	"intellisphere/internal/optimizer"
 	"intellisphere/internal/plan"
@@ -72,6 +73,14 @@ type Config struct {
 	// 0 selects the default (trace.DefaultRingSize); negative disables the
 	// buffer entirely (QueryTraced still returns its trace inline).
 	TraceBuffer int
+	// FeedbackCap bounds the estimator-feedback queue: beyond it the oldest
+	// pending observations are dropped (and counted) rather than growing the
+	// queue without limit behind a slow estimator. 0 selects the default
+	// (4096); negative disables the cap.
+	FeedbackCap int
+	// ModelHistory bounds the per-system model version history kept for
+	// rollback. 0 selects the default (modelver.DefaultHistory).
+	ModelHistory int
 }
 
 // Engine is the master engine. The remote-system, estimator, and
@@ -108,14 +117,40 @@ type Engine struct {
 	stepStates atomic.Pointer[map[stepKey]*stepState]
 	stepMu     sync.Mutex
 
-	queries     metrics.Counter
-	queryErrors metrics.Counter
-	retries     metrics.Counter
-	fallbacks   metrics.Counter
-	degraded    metrics.Counter
-	parseHist   *metrics.Histogram
-	planHist    *metrics.Histogram
-	executeHist *metrics.Histogram
+	// versions archives serialized costing profiles per system — the model
+	// lifecycle behind candidate promotion and rollback.
+	versions *modelver.Store
+	// tuneMu serializes candidate tuning, promotion, and rollback for the
+	// whole engine: the tuner, /models POSTs, and tests may race, and two
+	// concurrent promotions for one system would corrupt the version
+	// lineage.
+	tuneMu sync.Mutex
+
+	queries        metrics.Counter
+	queryErrors    metrics.Counter
+	retries        metrics.Counter
+	fallbacks      metrics.Counter
+	degraded       metrics.Counter
+	tuneAttempts   metrics.Counter
+	tunePromotions metrics.Counter
+	tuneRejections metrics.Counter
+	tuneRollbacks  metrics.Counter
+	parseHist      *metrics.Histogram
+	planHist       *metrics.Histogram
+	executeHist    *metrics.Histogram
+}
+
+// feedbackCap resolves the configured feedback-queue bound: 0 selects the
+// default, negative disables the cap entirely.
+func feedbackCap(n int) int {
+	switch {
+	case n == 0:
+		return defaultFeedbackCap
+	case n < 0:
+		return 0
+	default:
+		return n
+	}
 }
 
 // New builds a master engine, spins up its own execution simulator, and
@@ -149,7 +184,8 @@ func New(cfg Config) (*Engine, error) {
 		remotes:      registry.New[remote.System](),
 		estimators:   registry.New[core.Estimator](),
 		materialized: registry.New[*rowengine.Table](),
-		fb:           newFeedbackBatcher(),
+		fb:           newFeedbackBatcher(feedbackCap(cfg.FeedbackCap)),
+		versions:     modelver.NewStore(cfg.ModelHistory),
 		workers:      cfg.Workers,
 		breakers:     resilience.NewGroup(cfg.Breaker),
 		retry:        cfg.Retry,
@@ -204,13 +240,39 @@ type Stats struct {
 	Execute         metrics.HistogramSnapshot `json:"execute"`
 	PlanCache       optimizer.CacheStats      `json:"plan_cache"`
 	FeedbackBacklog int                       `json:"feedback_backlog"`
-	Resilience      ResilienceStats           `json:"resilience"`
+	// FeedbackDropped counts observations discarded because the bounded
+	// feedback queue was full (drop-oldest under sustained overload).
+	FeedbackDropped uint64          `json:"feedback_dropped"`
+	Resilience      ResilienceStats `json:"resilience"`
+	// Tuning summarizes the model-lifecycle loop: drift-triggered candidate
+	// tunes and their outcomes.
+	Tuning TuningStats `json:"tuning"`
 	// Accuracy reports each estimator's rolling prediction accuracy, keyed
 	// "system/operator" (e.g. "hive_marketing/join"): how well predicted
 	// step costs track the observed execution times.
 	Accuracy map[string]metrics.AccuracySnapshot `json:"accuracy,omitempty"`
 	// Traces counts traced queries recorded into the trace ring.
 	Traces uint64 `json:"traces"`
+}
+
+// TuningStats counts model-lifecycle events: candidate tune attempts and
+// how each resolved (promotion after holdout improvement, rejection
+// otherwise), plus operator-driven rollbacks.
+type TuningStats struct {
+	Attempts   uint64 `json:"attempts"`
+	Promotions uint64 `json:"promotions"`
+	Rejections uint64 `json:"rejections"`
+	Rollbacks  uint64 `json:"rollbacks"`
+}
+
+// TuningStats snapshots the model-lifecycle counters.
+func (e *Engine) TuningStats() TuningStats {
+	return TuningStats{
+		Attempts:   e.tuneAttempts.Value(),
+		Promotions: e.tunePromotions.Value(),
+		Rejections: e.tuneRejections.Value(),
+		Rollbacks:  e.tuneRollbacks.Value(),
+	}
 }
 
 // ResilienceStats summarizes the fault-tolerance layer: remote-call
@@ -237,7 +299,9 @@ func (e *Engine) Stats() Stats {
 		Execute:         e.executeHist.Snapshot(),
 		PlanCache:       e.PlanCacheStats(),
 		FeedbackBacklog: e.FeedbackBacklog(),
+		FeedbackDropped: e.FeedbackDropped(),
 		Resilience:      e.ResilienceStats(),
+		Tuning:          e.TuningStats(),
 		Accuracy:        e.AccuracyStats(),
 		Traces:          e.traces.Count(),
 	}
@@ -270,6 +334,22 @@ func (e *Engine) accuracyFor(system, kind string) *metrics.Accuracy {
 		a, _ = e.accuracy.Get(key)
 	}
 	return a
+}
+
+// ResetAccuracy empties every accuracy window belonging to a system. The
+// engine calls it whenever the system's model changes — candidate
+// promotion, rollback, or an in-place TuneSystem pass — because the
+// retained (predicted, actual) pairs scored the old model; leaving them in
+// the window would keep the Drifting flag latched (and immediately re-fire
+// the tuner) long after the model change fixed the calibration. The windows
+// reset in place, so hot-path pointers into them stay valid.
+func (e *Engine) ResetAccuracy(system string) {
+	prefix := system + "/"
+	for key, a := range e.accuracy.Snapshot() {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			a.Reset()
+		}
+	}
 }
 
 // stepKey identifies one (system, operator kind) pair without the string

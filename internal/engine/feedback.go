@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"intellisphere/internal/core"
+	"intellisphere/internal/metrics"
 	"intellisphere/internal/plan"
 )
 
@@ -30,6 +31,12 @@ func (it *feedbackItem) apply() {
 	}
 }
 
+// defaultFeedbackCap bounds the batcher's queue when the engine config does
+// not say otherwise. Feedback is advisory telemetry for the models, not
+// query results: under sustained overload it is strictly better to forget
+// the oldest observations than to grow the queue without limit.
+const defaultFeedbackCap = 4096
+
 // feedbackBatcher decouples query execution from estimator feedback.
 // Observe* on a logical-op model re-runs the (potentially expensive) remedy
 // estimate under the model's mutex; doing that inline would serialize every
@@ -37,23 +44,41 @@ func (it *feedbackItem) apply() {
 // cheap batcher mutex and returns; a single drainer goroutine — started
 // lazily, exiting when the queue empties — applies batches in arrival order,
 // so model mutations never contend with more than one writer.
+//
+// The queue is bounded: when a slow estimator lets it reach cap, the oldest
+// pending items are dropped (and counted) to admit new ones — recent
+// observations carry strictly more signal about the current workload.
 type feedbackBatcher struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    []feedbackItem
+	cap      int  // max queued items; <= 0 means unbounded
 	inflight int  // items handed to the drainer but not yet applied
 	draining bool // a drainer goroutine is active
+
+	dropped metrics.Counter // items discarded because the queue was full
 }
 
-func newFeedbackBatcher() *feedbackBatcher {
-	b := &feedbackBatcher{}
+func newFeedbackBatcher(cap int) *feedbackBatcher {
+	b := &feedbackBatcher{cap: cap}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// enqueue appends an item and ensures a drainer is running.
+// enqueue appends an item — dropping the oldest queued items first when the
+// queue is at cap — and ensures a drainer is running.
 func (b *feedbackBatcher) enqueue(it feedbackItem) {
 	b.mu.Lock()
+	if b.cap > 0 && len(b.queue) >= b.cap {
+		drop := len(b.queue) - b.cap + 1
+		n := copy(b.queue, b.queue[drop:])
+		// Zero the vacated tail so dropped items do not pin their estimators.
+		for i := n; i < len(b.queue); i++ {
+			b.queue[i] = feedbackItem{}
+		}
+		b.queue = b.queue[:n]
+		b.dropped.Add(uint64(drop))
+	}
 	b.queue = append(b.queue, it)
 	start := !b.draining
 	b.draining = true
@@ -113,3 +138,7 @@ func (e *Engine) FlushFeedback() { e.fb.flush() }
 // queued for delivery to estimators (a serving-health metric: a growing
 // backlog means feedback is falling behind execution).
 func (e *Engine) FeedbackBacklog() int { return e.fb.backlog() }
+
+// FeedbackDropped reports how many observations were discarded because the
+// feedback queue was at capacity (drop-oldest under sustained overload).
+func (e *Engine) FeedbackDropped() uint64 { return e.fb.dropped.Value() }

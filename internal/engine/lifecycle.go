@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"intellisphere/internal/core/hybrid"
+	"intellisphere/internal/modelver"
 	"intellisphere/internal/nn"
 	"intellisphere/internal/querygrid"
 	"intellisphere/internal/remote"
@@ -18,7 +20,10 @@ import (
 
 // SaveProfile serializes a registered remote's costing profile to path.
 // Only remotes registered with a hybrid (profile-backed) estimator can be
-// saved.
+// saved. The write is atomic: the profile lands in a temp file in the
+// target directory, is fsynced, and renames over path — a crash mid-write
+// can never leave a truncated profile where RegisterRemoteFromProfile
+// would later choke on it.
 func (e *Engine) SaveProfile(system, path string) error {
 	est, err := e.Estimator(system)
 	if err != nil {
@@ -32,7 +37,40 @@ func (e *Engine) SaveProfile(system, path string) error {
 	if err != nil {
 		return fmt.Errorf("engine: serialize profile for %q: %w", system, err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so readers only ever observe the old contents or the
+// complete new contents — never a partial write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("engine: write profile: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: write profile: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp opens 0600; published profiles keep WriteFile's old 0644.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: write profile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("engine: write profile: %w", err)
 	}
 	return nil
@@ -146,6 +184,11 @@ func (e *Engine) TuneSystem(system string, tc nn.TrainConfig) (*TuneReport, erro
 		// Offline tuning mutates the profile's models in place, so cached
 		// plans costed against the old models are stale.
 		h.BumpGeneration()
+		// The accuracy windows scored the pre-tune models; left alone they
+		// would keep reporting (and re-triggering on) drift the tune already
+		// fixed.
+		e.ResetAccuracy(system)
+		e.recordModelVersion(system, modelver.OriginTuneSystem, h, nil)
 	}
 	return rep, nil
 }

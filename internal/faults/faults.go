@@ -118,6 +118,17 @@ func (i *Injector) Configure(cfg Config) {
 	i.seq.Store(0)
 }
 
+// SetRates swaps the injector's base rates in place, keeping the seed and
+// any per-op overrides, and rewinds the draw sequence like Configure. The
+// chaos endpoint uses it to dial faults (e.g. a latency-spike regime that
+// drifts a cost model) on a live server.
+func (i *Injector) SetRates(r Rates) {
+	i.mu.Lock()
+	i.cfg.Rates = r
+	i.mu.Unlock()
+	i.seq.Store(0)
+}
+
 // SetOutage forces (or lifts) a full outage: while down, every call fails
 // with an unavailable error.
 func (i *Injector) SetOutage(down bool) { i.down.Store(down) }

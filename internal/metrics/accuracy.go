@@ -63,6 +63,19 @@ func (a *Accuracy) Observe(predictedSec, actualSec float64) {
 	a.mu.Unlock()
 }
 
+// Reset empties the rolling window without discarding the lifetime
+// observation count. The engine resets a (system, operator) window whenever
+// the model behind it changes — promotion, rollback, or an in-place tuning
+// pass — because the retained samples scored the *old* model: leaving them
+// in place would keep the Drifting flag latched (and re-fire the tuner)
+// long after the new model fixed the calibration.
+func (a *Accuracy) Reset() {
+	a.mu.Lock()
+	a.next = 0
+	a.filled = 0
+	a.mu.Unlock()
+}
+
 // qError is the symmetric relative error max(p/a, a/p) — the standard
 // cardinality/cost-estimation accuracy measure ("How Good Are Query
 // Optimizers, Really?"). Non-positive inputs clamp to a tiny epsilon so the

@@ -1,0 +1,102 @@
+package modelver
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestRecordAndLive(t *testing.T) {
+	s := NewStore(0)
+	v1 := s.Record("hive", "initial", []byte(`{"v":1}`), nil, true)
+	if v1.ID != 1 || !v1.Live || v1.Origin != "initial" || v1.Size != 7 {
+		t.Fatalf("v1 = %+v", v1)
+	}
+	got, ok := s.Live("hive")
+	if !ok || got.ID != 1 {
+		t.Fatalf("Live = %+v, %v", got, ok)
+	}
+	if !bytes.Equal(got.Profile, []byte(`{"v":1}`)) {
+		t.Fatalf("profile bytes = %q", got.Profile)
+	}
+
+	hs := &HoldoutScore{Samples: 4, LiveQ: 9.5, CandidateQ: 1.2}
+	v2 := s.Record("hive", "tuned", []byte(`{"v":2}`), hs, true)
+	if v2.ID != 2 || !v2.Live || !v2.Holdout.Improved() {
+		t.Fatalf("v2 = %+v", v2)
+	}
+	// v1 is no longer live but still retained as the rollback target.
+	prev, ok := s.Prev("hive")
+	if !ok || prev.ID != 1 || prev.Live {
+		t.Fatalf("Prev = %+v, %v", prev, ok)
+	}
+}
+
+func TestRecordCopiesBytes(t *testing.T) {
+	s := NewStore(0)
+	buf := []byte(`{"v":1}`)
+	s.Record("hive", "initial", buf, nil, true)
+	buf[2] = 'X'
+	got, _ := s.Live("hive")
+	if !bytes.Equal(got.Profile, []byte(`{"v":1}`)) {
+		t.Fatalf("stored bytes aliased the caller's slice: %q", got.Profile)
+	}
+}
+
+func TestSetLiveRollback(t *testing.T) {
+	s := NewStore(0)
+	s.Record("hive", "initial", []byte(`1`), nil, true)
+	s.Record("hive", "tuned", []byte(`2`), nil, true)
+	if err := s.SetLive("hive", 1); err != nil {
+		t.Fatalf("SetLive: %v", err)
+	}
+	live, _ := s.Live("hive")
+	if live.ID != 1 {
+		t.Fatalf("live after rollback = %d", live.ID)
+	}
+	// No version older than 1 remains.
+	if _, ok := s.Prev("hive"); ok {
+		t.Fatal("Prev found a version older than v1")
+	}
+	if err := s.SetLive("hive", 99); err == nil {
+		t.Fatal("SetLive accepted an unknown version")
+	}
+}
+
+func TestBoundedHistoryKeepsLive(t *testing.T) {
+	s := NewStore(3)
+	s.Record("hive", "initial", []byte(`1`), nil, true)
+	for i := 2; i <= 6; i++ {
+		s.Record("hive", "tuned", []byte(fmt.Sprintf("%d", i)), nil, false)
+	}
+	if n := s.Count("hive"); n != 3 {
+		t.Fatalf("retained = %d, want 3", n)
+	}
+	// The live version (v1, the oldest) must survive eviction.
+	live, ok := s.Live("hive")
+	if !ok || live.ID != 1 {
+		t.Fatalf("live evicted: %+v, %v", live, ok)
+	}
+	ids := []int{}
+	for _, v := range s.List("hive") {
+		ids = append(ids, v.ID)
+	}
+	sort.Ints(ids)
+	if fmt.Sprint(ids) != "[1 5 6]" {
+		t.Fatalf("retained ids = %v, want [1 5 6]", ids)
+	}
+}
+
+func TestUnknownSystem(t *testing.T) {
+	s := NewStore(0)
+	if _, ok := s.Live("ghost"); ok {
+		t.Fatal("Live on unknown system")
+	}
+	if _, ok := s.Get("ghost", 1); ok {
+		t.Fatal("Get on unknown system")
+	}
+	if got := s.List("ghost"); len(got) != 0 {
+		t.Fatalf("List on unknown system = %v", got)
+	}
+}

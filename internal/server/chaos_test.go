@@ -73,7 +73,7 @@ func newChaosServer(t *testing.T) (*httptest.Server, *engine.Engine, *faults.Inj
 // postFault flips one system's outage switch through the control plane.
 func postFault(t *testing.T, url, system string, outage bool) {
 	t.Helper()
-	body, _ := json.Marshal(faultRequest{System: system, Outage: outage})
+	body, _ := json.Marshal(faultRequest{System: system, Outage: &outage})
 	resp, err := http.Post(url+"/faults", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)

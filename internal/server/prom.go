@@ -28,6 +28,12 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(&b, "intellisphere_query_errors_total", "Queries that failed to parse, plan, or execute.", float64(st.QueryErrors))
 	counter(&b, "intellisphere_traces_total", "Traced queries recorded into the trace ring.", float64(st.Traces))
 	gauge(&b, "intellisphere_feedback_backlog", "Estimator feedback items queued but not yet applied.", float64(st.FeedbackBacklog))
+	counter(&b, "intellisphere_feedback_dropped_total", "Estimator feedback observations dropped because the bounded queue was full.", float64(st.FeedbackDropped))
+
+	counter(&b, "intellisphere_tune_attempts_total", "Candidate model tune passes started.", float64(st.Tuning.Attempts))
+	counter(&b, "intellisphere_tune_promotions_total", "Tuned candidates promoted to serving.", float64(st.Tuning.Promotions))
+	counter(&b, "intellisphere_tune_rejections_total", "Tuned candidates rejected after shadow scoring.", float64(st.Tuning.Rejections))
+	counter(&b, "intellisphere_tune_rollbacks_total", "Model versions restored by rollback.", float64(st.Tuning.Rollbacks))
 
 	counter(&b, "intellisphere_plan_cache_hits_total", "Plan-cache hits.", float64(st.PlanCache.Hits))
 	counter(&b, "intellisphere_plan_cache_misses_total", "Plan-cache misses.", float64(st.PlanCache.Misses))
@@ -46,6 +52,7 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge(&b, "intellisphere_admission_queued", "Requests currently waiting for a slot.", float64(adm.Queued))
 	counter(&b, "intellisphere_response_encode_errors_total", "Response encode/write failures.", float64(s.encodeErrors.Value()))
 	counter(&b, "intellisphere_stream_statements_total", "Statements answered over /query/stream.", float64(s.streamStatements.Value()))
+	counter(&b, "intellisphere_stream_oversized_total", "Stream statement lines rejected for exceeding the per-line byte cap.", float64(s.streamOversized.Value()))
 
 	counter(&b, "intellisphere_retries_total", "Remote plan-step calls repeated after a transient failure.", float64(st.Resilience.Retries))
 	counter(&b, "intellisphere_fallbacks_total", "Degraded re-plans (one per excluded system).", float64(st.Resilience.Fallbacks))

@@ -59,6 +59,7 @@ import (
 	"intellisphere/internal/engine"
 	"intellisphere/internal/faults"
 	"intellisphere/internal/metrics"
+	"intellisphere/internal/modelver"
 	"intellisphere/internal/trace"
 )
 
@@ -85,6 +86,9 @@ type Server struct {
 	encodeErrors metrics.Counter
 	// streamStatements counts statements answered over /query/stream.
 	streamStatements metrics.Counter
+	// streamOversized counts stream lines rejected for exceeding the
+	// per-line byte cap (each still answers a well-formed error frame).
+	streamOversized metrics.Counter
 }
 
 // New wraps an engine for serving with default admission control on the hot
@@ -142,6 +146,7 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 	mux.Handle("/trace", bound(s.handleTrace))
 	mux.Handle("/health", bound(s.handleHealth))
 	mux.Handle("/faults", bound(s.handleFaults))
+	mux.Handle("/models", bound(s.handleModels))
 	return mux
 }
 
@@ -525,15 +530,19 @@ type faultStatus struct {
 	Stats  faults.Stats `json:"stats"`
 }
 
-// faultRequest is the POST /faults body: flip one system's outage switch.
+// faultRequest is the POST /faults body: flip one system's outage switch
+// and/or dial its fault rates. Absent fields leave their setting untouched.
 type faultRequest struct {
-	System string `json:"system"`
-	Outage bool   `json:"outage"`
+	System string        `json:"system"`
+	Outage *bool         `json:"outage,omitempty"`
+	Rates  *faults.Rates `json:"rates,omitempty"`
 }
 
 // handleFaults is the chaos control plane: GET lists every injector's
 // outage switch and counters; POST {"system": "...", "outage": true}
-// forces (or lifts) a full outage on one remote.
+// forces (or lifts) a full outage on one remote, and
+// {"system": "...", "rates": {"latency": 1, "latency_factor": 20}} dials
+// its fault rates (the drift-injection lever the tuner smoke test pulls).
 func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	if s.faults == nil {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("fault injection not enabled"))
@@ -550,7 +559,12 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown system %q", req.System))
 			return
 		}
-		inj.SetOutage(req.Outage)
+		if req.Rates != nil {
+			inj.SetRates(*req.Rates)
+		}
+		if req.Outage != nil {
+			inj.SetOutage(*req.Outage)
+		}
 		s.writeJSON(w, http.StatusOK, faultStatus{System: req.System, Down: inj.Down(), Stats: inj.Stats()})
 		return
 	}
@@ -560,6 +574,101 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].System < out[j].System })
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// modelInfo describes one tunable system on GET /models: its version
+// lineage (oldest first, live flagged) and the lifecycle counters' view of
+// the engine.
+type modelInfo struct {
+	System   string             `json:"system"`
+	Versions []modelver.Version `json:"versions"`
+}
+
+// modelsResponse is the GET /models payload.
+type modelsResponse struct {
+	Systems []modelInfo        `json:"systems"`
+	Tuning  engine.TuningStats `json:"tuning"`
+}
+
+// modelRequest is the POST /models body. Action is one of:
+//
+//	"tune"       run a candidate tune; promote only on holdout improvement
+//	"force-tune" run a candidate tune and promote regardless of the verdict
+//	"promote"    alias of "force-tune"
+//	"rollback"   restore the previous model version byte-identically
+//
+// The optional knobs map onto engine.TuneOptions; TrainIterations bounds the
+// candidate retraining pass (0 keeps each model's own config).
+type modelRequest struct {
+	Action          string  `json:"action"`
+	System          string  `json:"system"`
+	Holdout         int     `json:"holdout,omitempty"`
+	MinLog          int     `json:"min_log,omitempty"`
+	MinGain         float64 `json:"min_gain,omitempty"`
+	TrainIterations int     `json:"train_iterations,omitempty"`
+}
+
+// handleModels is the model-lifecycle admin surface: GET lists every
+// profile-backed system's retained model versions (with holdout scores and
+// the live flag); POST triggers a candidate tune, a forced promotion, or a
+// rollback on one system.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		var req modelRequest
+		if r.Body == nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf(`missing request: POST {"action": ..., "system": ...}`))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, requestStatus(err), fmt.Errorf("decode request: %v", err))
+			return
+		}
+		if req.System == "" {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("system is required"))
+			return
+		}
+		switch req.Action {
+		case "tune", "force-tune", "promote":
+			opts := engine.TuneOptions{
+				Holdout: req.Holdout, MinLog: req.MinLog, MinGain: req.MinGain,
+				Force: req.Action != "tune",
+			}
+			opts.Train.Iterations = req.TrainIterations
+			out, err := s.eng.TuneCandidate(r.Context(), req.System, opts)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, out)
+		case "rollback":
+			v, err := s.eng.RollbackModel(req.System)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, v)
+		default:
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown action %q (want tune, force-tune, promote, or rollback)", req.Action))
+		}
+		return
+	}
+	resp := modelsResponse{Systems: []modelInfo{}, Tuning: s.eng.TuningStats()}
+	for _, name := range s.eng.Systems() {
+		est, err := s.eng.Estimator(name)
+		if err != nil {
+			continue
+		}
+		if _, ok := est.(*hybrid.Estimator); !ok {
+			continue
+		}
+		vs := s.eng.ModelVersions(name)
+		if vs == nil {
+			vs = []modelver.Version{}
+		}
+		resp.Systems = append(resp.Systems, modelInfo{System: name, Versions: vs})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealth reports federation availability. Load balancers get the
@@ -610,25 +719,41 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("stream unsupported: %v", err))
 		return
 	}
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	br := bufio.NewReaderSize(r.Body, 64*1024)
 	buf := getBuf()
 	defer putBuf(buf)
 	var prefix [20]byte
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+	for {
+		line, oversized, rerr := readStreamLine(br, maxStreamLine)
+		if rerr != nil {
+			if rerr != io.EOF {
+				// Mid-stream read failure: frames already sent stand; nothing
+				// more can be promised on a broken pipe, so just log the cause.
+				s.encodeErrors.Inc()
+				log.Printf("server: query stream read: %v", rerr)
+			}
+			return
 		}
-		sql, perr := streamStatement(line)
+		if !oversized {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+		}
 		s.qps.Tick()
 		s.streamStatements.Inc()
 		buf.Reset()
 		enc := jw{b: buf}
-		switch {
-		case perr != nil:
+		if oversized {
+			// The over-limit line was consumed to its newline, so the slot
+			// answers a well-formed error frame and the stream stays aligned
+			// for the next statement (a Scanner would have died silently on
+			// ErrTooLong here, ending the stream mid-pipeline).
+			s.streamOversized.Inc()
+			encodeStatementError(&enc, "", fmt.Sprintf("statement line exceeds %d bytes", maxStreamLine))
+		} else if sql, perr := streamStatement(line); perr != nil {
 			encodeStatementError(&enc, string(line), perr.Error())
-		default:
+		} else {
 			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 			res, err := s.eng.QueryContext(ctx, sql)
 			cancel()
@@ -658,11 +783,56 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := sc.Err(); err != nil {
-		// Mid-stream read failure: frames already sent stand; nothing more
-		// can be promised on a broken pipe, so just log the cause.
-		s.encodeErrors.Inc()
-		log.Printf("server: query stream read: %v", err)
+}
+
+// readStreamLine returns the next newline-terminated statement line from br
+// (newline included; an unterminated final line is returned at EOF). A line
+// longer than max is consumed to its newline and reported oversized instead
+// of returned, keeping the stream aligned on statement boundaries. The
+// common case — the line fits the reader's buffer — returns the reader's
+// internal slice without copying; callers must finish with it before the
+// next read. err is io.EOF once the body is exhausted.
+func readStreamLine(br *bufio.Reader, max int) (line []byte, oversized bool, err error) {
+	var acc []byte
+	first := true
+	for {
+		chunk, rerr := br.ReadSlice('\n')
+		if first && rerr == nil && len(chunk) <= max {
+			return chunk, false, nil
+		}
+		first = false
+		acc = append(acc, chunk...)
+		if rerr == bufio.ErrBufferFull {
+			if len(acc) > max {
+				if derr := discardLine(br); derr != nil && derr != io.EOF {
+					return nil, true, derr
+				}
+				return nil, true, nil
+			}
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			return nil, false, rerr
+		}
+		if len(acc) == 0 && rerr == io.EOF {
+			return nil, false, io.EOF
+		}
+		if len(acc) > max {
+			return nil, true, nil
+		}
+		return acc, false, nil
+	}
+}
+
+// discardLine consumes the remainder of the current line. A nil return
+// means the newline was found; io.EOF means the body ended first.
+func discardLine(br *bufio.Reader) error {
+	for {
+		_, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return err
 	}
 }
 

@@ -306,3 +306,62 @@ func BenchmarkStreamVsHTTP(b *testing.B) {
 		}
 	})
 }
+
+// TestQueryStreamOversizedLine pins the per-line byte cap's failure mode: a
+// statement line over maxStreamLine must answer a well-formed error frame in
+// its slot — not kill the stream — and the statements on either side of it
+// still execute. (The old bufio.Scanner path died silently on ErrTooLong,
+// dropping every queued statement after the big line.)
+func TestQueryStreamOversizedLine(t *testing.T) {
+	srv, _ := newTestServer(t)
+	good := "SELECT a1 FROM t100000_100 WHERE a1 < 100"
+	big := strings.Repeat("x", maxStreamLine+16)
+	body := good + "\n" + big + "\n" + good + "\n"
+
+	resp, err := http.Post(srv.URL+"/query/stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 3; i++ {
+		frame, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v (stream died on the oversized line?)", i, err)
+		}
+		if i == 1 {
+			var slot map[string]string
+			if err := json.Unmarshal(frame, &slot); err != nil {
+				t.Fatalf("oversized slot is not well-formed JSON: %v (%s)", err, frame)
+			}
+			if !strings.Contains(slot["error"], "exceeds") {
+				t.Fatalf("oversized slot error = %q", slot["error"])
+			}
+			continue
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(frame, &qr); err != nil {
+			t.Fatalf("frame %d does not decode: %v", i, err)
+		}
+		if qr.SQL != good || qr.ActualSec <= 0 {
+			t.Fatalf("frame %d: statement after the oversized line not executed: %+v", i, qr)
+		}
+	}
+	if _, err := readFrame(br); err != io.EOF {
+		t.Fatalf("want EOF after last frame, got %v", err)
+	}
+
+	// The rejection is counted on the Prometheus surface.
+	prom, err := http.Get(srv.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prom.Body.Close()
+	text, _ := io.ReadAll(prom.Body)
+	if !strings.Contains(string(text), "intellisphere_stream_oversized_total 1") {
+		t.Error("stream_oversized counter not exported")
+	}
+}

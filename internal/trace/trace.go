@@ -154,6 +154,19 @@ func New(sql string) *Trace {
 	}
 }
 
+// NewOp begins a trace for a background operation (the model tuner's
+// retrain passes record into the same ring the query traces land in). The
+// root span takes the operation name; label fills the SQL field so trace
+// listings show what the operation touched.
+func NewOp(name, label string) *Trace {
+	now := time.Now()
+	return &Trace{
+		SQL:       label,
+		StartedAt: now,
+		Root:      &Span{Name: name, base: now, begin: now},
+	}
+}
+
 // Finish closes the root span and stamps the trace's total duration and
 // outcome.
 func (t *Trace) Finish(err error) {

@@ -1,0 +1,132 @@
+#!/bin/sh
+# Drift-tuner smoke for cmd/serve: start the server with the blackbox
+# "flink" remote (logical-op, retrainable cost models) and a fast background
+# tuner, inject a 20x latency regime on flink through /faults so its
+# aggregation model drifts, and verify the loop closes end to end: the tuner
+# retrains a candidate from the executed-query log, shadow-scores it, and
+# promotes it (tune counters + /models version lineage), the drift flag
+# clears, and a rollback through POST /models restores the initial model.
+# Used by `make tuner-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${TUNER_ADDR:-127.0.0.1:18083}
+BIN=$(mktemp -d)/serve
+LOG=$(mktemp)
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+$GO build -o "$BIN" ./cmd/serve
+
+"$BIN" -addr "$ADDR" -logical-remote \
+    -tune-interval 250ms -tune-holdout 2 -tune-min-log 4 >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the server to come up — -logical-remote trains three neural
+# models at startup, which takes a moment.
+i=0
+until curl -sf "http://$ADDR/profiles" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 240 ]; then
+        echo "tuner: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "tuner: server exited early; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+fail() {
+    echo "tuner: $1" >&2
+    shift
+    [ $# -gt 0 ] && echo "  $*" >&2
+    echo "server log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# 1. Baseline: flink is listed as tunable with no version history yet, and
+#    no tune pass has run.
+out=$(curl -sf "http://$ADDR/models")
+echo "$out" | grep -q '"system": *"flink"' || fail "/models does not list flink" "$out"
+echo "$out" | grep -q '"promotions": *0' || fail "tune counters not zero at baseline" "$out"
+
+# 2. Drift regime: every flink call now takes 20x its estimate, so executed
+#    queries log actuals far above the model's predictions.
+out=$(curl -sf "http://$ADDR/faults" \
+    -d '{"system":"flink","rates":{"latency":1,"latency_factor":20}}')
+echo "$out" | grep -q '"system": *"flink"' || fail "arming flink latency faults failed" "$out"
+
+# 3. Execute enough flink aggregations to fill the model's log past
+#    -tune-min-log + -tune-holdout.
+QUERY='{"sql": "SELECT a10, SUM(a1) FROM t80000000_500 GROUP BY a10"}'
+j=0
+while [ "$j" -lt 10 ]; do
+    curl -sf "http://$ADDR/query" -d "$QUERY" >/dev/null || fail "flink query $j failed"
+    j=$((j + 1))
+done
+
+# 4. The tuner must notice the drifting window, retrain a candidate, and
+#    promote it. Give the 250ms poll loop (debounce 2) a generous deadline.
+i=0
+while ! curl -sf "http://$ADDR/metrics/prom" | grep -q '^intellisphere_tune_promotions_total [1-9]'; do
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        fail "tuner never promoted a candidate" "$(curl -sf "http://$ADDR/metrics/prom" | grep ^intellisphere_tune)"
+    fi
+    sleep 0.5
+done
+
+# 5. Promotion resets the accuracy window, clearing the drift flag. An
+#    execution in flight during the swap can re-raise it with a couple of
+#    stale observations scored by the replaced model; a few post-promotion
+#    queries — predicted by the promoted model, q-error near 1 even under
+#    the latency regime — wash those out of the window.
+i=0
+while curl -sf "http://$ADDR/metrics/prom" |
+    grep 'intellisphere_estimator_drifting{system="flink"' | grep -qv ' 0$'; do
+    i=$((i + 1))
+    if [ "$i" -ge 15 ]; then
+        fail "flink drift flag never cleared after promotion" \
+            "$(curl -sf "http://$ADDR/metrics/prom" | grep drifting)"
+    fi
+    j=0
+    while [ "$j" -lt 5 ]; do
+        curl -sf "http://$ADDR/query" -d "$QUERY" >/dev/null || fail "settle query failed"
+        j=$((j + 1))
+    done
+    sleep 0.5
+done
+
+# 6. /models shows the lineage: the initial model archived, the tuned one
+#    live with its holdout score.
+out=$(curl -sf "http://$ADDR/models")
+echo "$out" | grep -q '"origin": *"initial"' || fail "initial version not archived" "$out"
+echo "$out" | grep -q '"origin": *"tuned"' || fail "tuned version not recorded" "$out"
+echo "$out" | grep -q '"holdout": *{' || fail "promotion carries no holdout score" "$out"
+
+# 7. Rollback restores the previous version (the settle queries may have
+#    driven more than one promotion, so only the live flag and the counter
+#    are pinned, not which origin becomes live).
+out=$(curl -sf "http://$ADDR/models" -d '{"action":"rollback","system":"flink"}')
+echo "$out" | grep -q '"live": *true' || fail "rolled-back version not live" "$out"
+echo "$out" | grep -q '"origin": *"' || fail "rollback returned no version" "$out"
+curl -sf "http://$ADDR/metrics/prom" | grep -q '^intellisphere_tune_rollbacks_total [1-9]' ||
+    fail "rollback not counted on /metrics/prom"
+
+# 8. Graceful shutdown (stops the tuner loop before flushing feedback).
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+grep -q "bye" "$LOG" || fail "server did not shut down gracefully"
+PID=
+
+echo "tuner smoke OK: drift -> retrain -> shadow-score -> promote -> rollback"
