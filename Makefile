@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke ci
+.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak ci
 
 all: build
 
@@ -74,4 +74,19 @@ chaos:
 tuner-smoke:
 	GO="$(GO)" sh scripts/tuner_smoke.sh
 
-ci: vet build race bench bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke
+# Durability smoke: mutate a -data-dir server through the admin surface,
+# SIGKILL it, restart against the same directory, and require byte-identical
+# /explain plans; then a SIGTERM → snapshot-restore cycle.
+crash-smoke:
+	GO="$(GO)" sh scripts/crash_smoke.sh
+
+# Seeded crash-recovery soak: the black-box e2e harness drives randomized
+# actions interleaved with SIGKILL+restart cycles, checking acked mutations,
+# byte-identical plans vs a never-killed reference, breaker recovery, and
+# goroutine leaks after every recovery. The CI default is a short soak; the
+# full acceptance run is
+#   $(GO) test -race ./test/e2e -chaos.actions=2000 -chaos.seed=7 -timeout 30m
+crash-soak:
+	$(GO) test -race ./test/e2e -run TestCrashRecoverySoak -count=1
+
+ci: vet build race bench bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak

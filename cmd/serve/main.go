@@ -25,6 +25,21 @@
 //	POST /faults   {"system": "hive", "rates": {...}}       dial fault rates live
 //	GET  /models                               model versions per tunable system
 //	POST /models   {"action": "tune", "system": ...}        candidate tune/rollback
+//	GET  /catalog                              tables with materialization flags
+//	POST /catalog  {"table": {...}}                         register a table
+//	POST /catalog  {"materialize": "name"}                  materialize locally
+//	GET  /links                                QueryGrid link configurations
+//	POST /links    {"system": ..., "link": {...}}           install an override
+//
+// -data-dir makes engine state durable: admin mutations (catalog
+// registrations, materializations, link overrides, profile switches, model
+// promotions and rollbacks) append to a checksummed write-ahead log and ack
+// only after fsync; the WAL rotates into an atomic snapshot past
+// -wal-rotate-bytes and on graceful shutdown. Booting against the same
+// directory restores the newest valid snapshot, replays the log past it —
+// truncating any torn tail a crash left behind — and resumes with plans
+// byte-identical to the pre-crash process. Without the flag the server is
+// stateless, exactly as before.
 //
 // -logical-remote adds a fourth, blackbox remote ("flink") whose cost
 // models are logical-op neural networks — the family the feedback loop can
@@ -48,8 +63,9 @@
 //
 // Fault injection is seeded and deterministic; with all -fault-* flags at
 // zero (the default) every response is byte-identical to a build without
-// the fault layer. SIGINT/SIGTERM drain in-flight requests and flush
-// pending estimator feedback before exiting.
+// the fault layer. SIGINT/SIGTERM drain in-flight requests, flush pending
+// estimator feedback, and (with -data-dir) write a final snapshot before
+// exiting.
 package main
 
 import (
@@ -67,6 +83,7 @@ import (
 
 	"intellisphere/internal/admission"
 	"intellisphere/internal/demo"
+	"intellisphere/internal/durable"
 	"intellisphere/internal/engine"
 	"intellisphere/internal/faults"
 	"intellisphere/internal/nn"
@@ -97,6 +114,8 @@ func main() {
 	tuneDriftQ := flag.Float64("tune-drift-q", 0, "mean q-error above which the tuner treats a model as drifting (0 = default 2.0)")
 	tuneHoldout := flag.Int("tune-holdout", 0, "per-model holdout records withheld for candidate shadow scoring (0 = default 8)")
 	tuneMinLog := flag.Int("tune-min-log", 0, "minimum per-model execution log before a candidate tune (0 = default 16)")
+	dataDir := flag.String("data-dir", "", "durable state directory: snapshots + write-ahead log (empty = stateless)")
+	walRotate := flag.Int64("wal-rotate-bytes", 0, "WAL size that triggers a background snapshot + log rotation (0 = default 4 MiB, negative disables)")
 	flag.Parse()
 
 	log.Printf("building demo federation (seed %d)...", *seed)
@@ -122,6 +141,31 @@ func main() {
 		os.Exit(1)
 	}
 	eng := fed.Engine
+	var dur *engine.Durability
+	if *dataDir != "" {
+		// Durability attaches after the deterministic boot build: recovery
+		// restores the newest valid snapshot, replays the WAL past it, and
+		// every admin mutation from here on acks only after its fsynced log
+		// append. SIGKILL at any point loses nothing acknowledged.
+		var rec durable.Recovery
+		dur, rec, err = engine.OpenDurability(eng, engine.DurabilityConfig{
+			Dir: *dataDir, RotateBytes: *walRotate,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: recover:", err)
+			os.Exit(1)
+		}
+		switch {
+		case rec.Restored:
+			log.Printf("recovered %s: snapshot seq %d + %d WAL records in %.3fs (discarded %d snapshots, torn tail %v)",
+				*dataDir, rec.SnapshotSeq, rec.Replayed, rec.DurationSec, rec.SnapshotsDiscarded, rec.TornTail)
+		case rec.Replayed > 0:
+			log.Printf("recovered %s: %d WAL records replayed in %.3fs (torn tail %v)",
+				*dataDir, rec.Replayed, rec.DurationSec, rec.TornTail)
+		default:
+			log.Printf("durable state in %s (fresh)", *dataDir)
+		}
+	}
 	if *warm {
 		sqls := demo.Statements()
 		for _, sql := range sqls {
@@ -151,14 +195,17 @@ func main() {
 		log.Printf("drift tuner armed: interval %s", *tuneInterval)
 	}
 
-	handler := server.New(eng).
+	srvOpts := server.New(eng).
 		WithFaults(fed.Injectors).
 		WithAdmission(admission.Config{
 			MaxInFlight: *maxInFlight,
 			QueueDepth:  *queueDepth,
 			RateLimit:   *rateLimit,
-		}).
-		Handler(*timeout)
+		})
+	if dur != nil {
+		srvOpts = srvOpts.WithDurability(dur)
+	}
+	handler := srvOpts.Handler(*timeout)
 	if *pprofOn {
 		// The API mux is timeout-wrapped; pprof handlers must not be (a CPU
 		// profile legitimately streams for 30s), so they mount on an outer
@@ -201,10 +248,23 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		// Shutdown order matters: drain HTTP first (no new mutations), stop
+		// the background tuner (no more model promotions), flush the bounded
+		// feedback queue into the estimators, then snapshot the final state
+		// and close the store — the next boot restores from the snapshot with
+		// an empty WAL.
 		if tuner != nil {
 			tuner.Stop()
 		}
 		eng.FlushFeedback()
+		if dur != nil {
+			if err := dur.Snapshot(); err != nil {
+				log.Printf("shutdown snapshot: %v", err)
+			}
+			if err := dur.Close(); err != nil {
+				log.Printf("close durable store: %v", err)
+			}
+		}
 		log.Print("bye")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {

@@ -120,6 +120,14 @@ type Engine struct {
 	// versions archives serialized costing profiles per system — the model
 	// lifecycle behind candidate promotion and rollback.
 	versions *modelver.Store
+	// dur is the attached durability sink (nil until OpenDurability): every
+	// registry mutation is WAL-logged through it before its caller is acked.
+	dur atomic.Pointer[Durability]
+	// mutMu serializes the non-model registry mutations (table registration,
+	// link changes, materialization) so their WAL append order matches their
+	// apply order. Model mutations serialize under tuneMu instead; snapshot
+	// capture holds both.
+	mutMu sync.Mutex
 	// tuneMu serializes candidate tuning, promotion, and rollback for the
 	// whole engine: the tuner, /models POSTs, and tests may race, and two
 	// concurrent promotions for one system would corrupt the version
@@ -640,33 +648,37 @@ func (e *Engine) RegisterRemoteLogicalOp(sys remote.System, kind remote.EngineKi
 
 // RegisterTable adds a table (local or foreign) to the catalog. Foreign
 // tables must name a registered remote system, as must every replica link.
+// With durability attached the registration is WAL-logged before returning.
 func (e *Engine) RegisterTable(t *catalog.Table) error {
-	if t.System != "" {
-		if _, ok := e.remotes.Get(t.System); !ok {
-			return fmt.Errorf("engine: table %q references unregistered system %q", t.Name, t.System)
-		}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	if err := e.applyRegisterTable(t); err != nil {
+		return err
 	}
-	for _, r := range t.Replicas {
-		if _, ok := e.remotes.Get(r); !ok {
-			return fmt.Errorf("engine: table %q replica references unregistered system %q", t.Name, r)
-		}
+	return e.logMutation(opRegisterTable, t)
+}
+
+// SetLink overrides the QueryGrid link characteristics for one remote
+// system, WAL-logged when durability is attached.
+func (e *Engine) SetLink(system string, cfg querygrid.LinkConfig) error {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	if err := e.grid.SetLink(system, cfg); err != nil {
+		return err
 	}
-	return e.cat.Register(t)
+	return e.logMutation(opSetLink, linkPayload{System: system, Link: cfg})
 }
 
 // Materialize generates actual rows for a registered table so queries over
-// it return results, not just costs. Limited to small tables.
+// it return results, not just costs. Limited to small tables. WAL-logged
+// when durability is attached.
 func (e *Engine) Materialize(name string) error {
-	t, err := e.cat.Lookup(name)
-	if err != nil {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	if err := e.applyMaterialize(name); err != nil {
 		return err
 	}
-	tb, err := rowengine.Materialize(name, t.Rows)
-	if err != nil {
-		return err
-	}
-	e.materialized.Set(name, tb)
-	return nil
+	return e.logMutation(opMaterialize, materializePayload{Table: name})
 }
 
 // QueryResult is one executed federated query.

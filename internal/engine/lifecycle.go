@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"intellisphere/internal/core"
 	"intellisphere/internal/core/hybrid"
+	"intellisphere/internal/core/logicalop"
+	"intellisphere/internal/durable"
 	"intellisphere/internal/modelver"
 	"intellisphere/internal/nn"
 	"intellisphere/internal/querygrid"
@@ -20,10 +22,9 @@ import (
 
 // SaveProfile serializes a registered remote's costing profile to path.
 // Only remotes registered with a hybrid (profile-backed) estimator can be
-// saved. The write is atomic: the profile lands in a temp file in the
-// target directory, is fsynced, and renames over path — a crash mid-write
-// can never leave a truncated profile where RegisterRemoteFromProfile
-// would later choke on it.
+// saved. The write goes through durable.WriteFileAtomic (temp file, fsync,
+// rename) — a crash mid-write can never leave a truncated profile where
+// RegisterRemoteFromProfile would later choke on it.
 func (e *Engine) SaveProfile(system, path string) error {
 	est, err := e.Estimator(system)
 	if err != nil {
@@ -37,40 +38,7 @@ func (e *Engine) SaveProfile(system, path string) error {
 	if err != nil {
 		return fmt.Errorf("engine: serialize profile for %q: %w", system, err)
 	}
-	return writeFileAtomic(path, data)
-}
-
-// writeFileAtomic writes data to path via a same-directory temp file,
-// fsync, and rename, so readers only ever observe the old contents or the
-// complete new contents — never a partial write.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("engine: write profile: %w", err)
-	}
-	tmp := f.Name()
-	cleanup := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("engine: write profile: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Sync(); err != nil {
-		return cleanup(err)
-	}
-	// CreateTemp opens 0600; published profiles keep WriteFile's old 0644.
-	if err := f.Chmod(0o644); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("engine: write profile: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := durable.WriteFileAtomic(path, data, 0o644); err != nil {
 		return fmt.Errorf("engine: write profile: %w", err)
 	}
 	return nil
@@ -112,10 +80,48 @@ func (e *Engine) CalibrateLink(system string, measure querygrid.MeasureFunc) (qu
 	if err != nil {
 		return querygrid.LinkConfig{}, err
 	}
-	if err := e.grid.SetLink(system, cfg); err != nil {
+	if err := e.SetLink(system, cfg); err != nil {
 		return querygrid.LinkConfig{}, err
 	}
 	return cfg, nil
+}
+
+// SwitchProfile forces a hybrid system's active costing approach (sub-op or
+// logical-op) and WAL-logs the resulting profile, so the switch survives a
+// restart.
+func (e *Engine) SwitchProfile(system string, active core.Approach) error {
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	h, err := e.hybridFor(system)
+	if err != nil {
+		return err
+	}
+	if err := h.Switch(active); err != nil {
+		return err
+	}
+	data, err := profileJSON(h)
+	if err != nil {
+		return fmt.Errorf("engine: serialize profile for %q: %w", system, err)
+	}
+	return e.logMutation(opInstallProfile, profilePayload{System: system, Profile: data})
+}
+
+// InstallLogicalModels hot-swaps trained logical-op models into a hybrid
+// system's profile (Figure 9's t1 moment) and WAL-logs the resulting
+// profile. Nil models leave the existing ones in place.
+func (e *Engine) InstallLogicalModels(system string, join, agg, scan *logicalop.Model) error {
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
+	h, err := e.hybridFor(system)
+	if err != nil {
+		return err
+	}
+	h.InstallLogicalModels(join, agg, scan)
+	data, err := profileJSON(h)
+	if err != nil {
+		return fmt.Errorf("engine: serialize profile for %q: %w", system, err)
+	}
+	return e.logMutation(opInstallProfile, profilePayload{System: system, Profile: data})
 }
 
 // TuneReport summarizes one offline tuning pass over a remote's logical
@@ -136,6 +142,10 @@ type TuneReport struct {
 // trained ranges under the continuity rule. Models without pending logs are
 // skipped.
 func (e *Engine) TuneSystem(system string, tc nn.TrainConfig) (*TuneReport, error) {
+	// tuneMu serializes this in-place pass against candidate tunes and
+	// rollbacks, and orders its WAL record with every other model mutation.
+	e.tuneMu.Lock()
+	defer e.tuneMu.Unlock()
 	est, err := e.Estimator(system)
 	if err != nil {
 		return nil, err
@@ -188,7 +198,13 @@ func (e *Engine) TuneSystem(system string, tc nn.TrainConfig) (*TuneReport, erro
 		// would keep reporting (and re-triggering on) drift the tune already
 		// fixed.
 		e.ResetAccuracy(system)
-		e.recordModelVersion(system, modelver.OriginTuneSystem, h, nil)
+		data, jerr := profileJSON(h)
+		if jerr != nil {
+			return nil, fmt.Errorf("engine: serialize tuned profile for %q: %w", system, jerr)
+		}
+		if _, verr := e.recordModelVersion(system, modelver.OriginTuneSystem, data, nil); verr != nil {
+			return nil, verr
+		}
 	}
 	return rep, nil
 }

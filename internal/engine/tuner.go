@@ -130,25 +130,28 @@ func profileJSON(h *hybrid.Estimator) ([]byte, error) {
 	return json.Marshal(h.Profile())
 }
 
-// recordModelVersion archives a hybrid estimator's current profile as the
-// system's live version. Serialization failures are swallowed: versioning
-// is a safety net around an already-applied model change, not a gate on it.
-func (e *Engine) recordModelVersion(system, origin string, h *hybrid.Estimator, holdout *modelver.HoldoutScore) *modelver.Version {
-	data, err := profileJSON(h)
-	if err != nil {
-		return nil
-	}
-	v := e.versions.Record(system, origin, data, holdout, true)
-	return &v
+// recordModelVersion archives pre-serialized profile bytes as the system's
+// live version and WAL-logs the event (resulting bytes, not the operation:
+// replay reproduces IDs, live markers, and the serving estimator without
+// the in-memory execution logs tuning consumed). Caller holds tuneMu. A
+// non-nil error means the version is archived in memory but not durable.
+func (e *Engine) recordModelVersion(system, origin string, profile []byte, holdout *modelver.HoldoutScore) (*modelver.Version, error) {
+	v := e.versions.Record(system, origin, profile, holdout, true)
+	err := e.logMutation(opModelVersion, modelVersionPayload{
+		System: system, Origin: origin, Holdout: holdout, Profile: profile,
+	})
+	return &v, err
 }
 
 // ensureBaseline archives the live profile bytes as the system's initial
 // version if no history exists yet, so the first promotion always has a
-// rollback target.
-func (e *Engine) ensureBaseline(system string, live []byte) {
-	if e.versions.Count(system) == 0 {
-		e.versions.Record(system, modelver.OriginInitial, live, nil, true)
+// rollback target. WAL-logged like every version event.
+func (e *Engine) ensureBaseline(system string, live []byte) error {
+	if e.versions.Count(system) != 0 {
+		return nil
 	}
+	_, err := e.recordModelVersion(system, modelver.OriginInitial, live, nil)
+	return err
 }
 
 // tunePair is one (operator kind, live model) the candidate pass considers.
@@ -283,13 +286,26 @@ func (e *Engine) TuneCandidate(ctx context.Context, system string, opts TuneOpti
 		psp.EndErr(err)
 		return nil, fmt.Errorf("engine: build candidate estimator for %q: %w", system, err)
 	}
-	e.ensureBaseline(system, liveJSON)
+	candJSON, err := profileJSON(candEst)
+	if err != nil {
+		psp.EndErr(err)
+		return nil, fmt.Errorf("engine: serialize candidate profile for %q: %w", system, err)
+	}
+	if err = e.ensureBaseline(system, liveJSON); err != nil {
+		psp.EndErr(err)
+		return nil, err
+	}
 	// Swapping the registry entry bumps its generation: cached plans costed
 	// against the old model stop matching, and the execution hot path's
 	// stepStates rebuild onto the new estimator.
 	e.estimators.Set(system, candEst)
 	hs := out.Holdout
-	out.Version = e.recordModelVersion(system, modelver.OriginTuned, candEst, &hs)
+	var verr error
+	out.Version, verr = e.recordModelVersion(system, modelver.OriginTuned, candJSON, &hs)
+	if verr != nil {
+		psp.EndErr(verr)
+		return nil, verr
+	}
 	// The accuracy windows scored the replaced model; clear them so the
 	// drift flag reflects the promoted one.
 	e.ResetAccuracy(system)
@@ -347,6 +363,13 @@ func (e *Engine) RollbackModel(system string) (*modelver.Version, error) {
 	}
 	e.estimators.Set(system, est)
 	if err := e.versions.SetLive(system, prev.ID); err != nil {
+		return nil, err
+	}
+	// The WAL record carries the restored profile bytes so replay is
+	// self-contained: install the estimator, mark the version live.
+	if err := e.logMutation(opModelLive, modelLivePayload{
+		System: system, ID: prev.ID, Profile: prev.Profile,
+	}); err != nil {
 		return nil, err
 	}
 	e.ResetAccuracy(system)

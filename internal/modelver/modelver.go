@@ -9,6 +9,7 @@
 package modelver
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -238,4 +239,89 @@ func (s *Store) Count(system string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.versions[system])
+}
+
+// State is the store's serializable form for engine-wide snapshots. Version
+// listings strip profile bytes (Version.Profile is json:"-"), so snapshots
+// use this parallel wire type that carries them: restoring a State
+// reproduces the store — IDs, live markers, and rollback targets —
+// byte-identically.
+type State struct {
+	Systems map[string]SystemState `json:"systems,omitempty"`
+}
+
+// SystemState is one system's archived history.
+type SystemState struct {
+	// NextID is the ID counter, preserved so versions recorded after a
+	// restore continue the original numbering.
+	NextID int `json:"next_id"`
+	// Live is the live version's ID (0 = none).
+	Live int `json:"live,omitempty"`
+	// Versions is the retained history, oldest first.
+	Versions []VersionState `json:"versions"`
+}
+
+// VersionState is one archived version with its profile bytes inline.
+type VersionState struct {
+	ID      int             `json:"id"`
+	Origin  string          `json:"origin"`
+	SavedAt time.Time       `json:"saved_at"`
+	Holdout *HoldoutScore   `json:"holdout,omitempty"`
+	Profile json.RawMessage `json:"profile"`
+}
+
+// Export captures the whole store as a State.
+func (s *Store) Export() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.versions) == 0 {
+		return State{}
+	}
+	st := State{Systems: make(map[string]SystemState, len(s.versions))}
+	for system, vs := range s.versions {
+		ss := SystemState{
+			NextID:   s.nextID[system],
+			Live:     s.live[system],
+			Versions: make([]VersionState, 0, len(vs)),
+		}
+		for _, v := range vs {
+			ss.Versions = append(ss.Versions, VersionState{
+				ID:      v.ID,
+				Origin:  v.Origin,
+				SavedAt: v.SavedAt,
+				Holdout: v.Holdout,
+				Profile: append(json.RawMessage(nil), v.Profile...),
+			})
+		}
+		st.Systems[system] = ss
+	}
+	return st
+}
+
+// Restore replaces the store's entire contents with a previously exported
+// State. The retention limit is the receiver's, so a restore into a store
+// with a smaller limit evicts oldest-first as usual on the next Record.
+func (s *Store) Restore(st State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions = make(map[string][]*Version, len(st.Systems))
+	s.nextID = make(map[string]int, len(st.Systems))
+	s.live = make(map[string]int, len(st.Systems))
+	for system, ss := range st.Systems {
+		vs := make([]*Version, 0, len(ss.Versions))
+		for _, v := range ss.Versions {
+			vs = append(vs, &Version{
+				ID:      v.ID,
+				System:  system,
+				Origin:  v.Origin,
+				SavedAt: v.SavedAt,
+				Holdout: v.Holdout,
+				Profile: append([]byte(nil), v.Profile...),
+				Size:    len(v.Profile),
+			})
+		}
+		s.versions[system] = vs
+		s.nextID[system] = ss.NextID
+		s.live[system] = ss.Live
+	}
 }

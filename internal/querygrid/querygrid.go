@@ -74,6 +74,25 @@ func (g *Grid) SetLink(system string, cfg LinkConfig) error {
 // every SetLink so cached transfer costs can detect staleness.
 func (g *Grid) Generation() uint64 { return g.gen.Load() }
 
+// Links returns a copy of the per-system link overrides (systems on the
+// default link are absent) — the durable-snapshot and admin-API view.
+func (g *Grid) Links() map[string]LinkConfig {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]LinkConfig, len(g.links))
+	for k, v := range g.links {
+		out[k] = v
+	}
+	return out
+}
+
+// Default returns the link characteristics systems without an override use.
+func (g *Grid) Default() LinkConfig {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.def
+}
+
 func (g *Grid) link(system string) LinkConfig {
 	g.mu.RLock()
 	defer g.mu.RUnlock()

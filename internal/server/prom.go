@@ -54,6 +54,22 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(&b, "intellisphere_stream_statements_total", "Statements answered over /query/stream.", float64(s.streamStatements.Value()))
 	counter(&b, "intellisphere_stream_oversized_total", "Stream statement lines rejected for exceeding the per-line byte cap.", float64(s.streamOversized.Value()))
 
+	if s.dur != nil {
+		ds, snapErrs := s.dur.Stats()
+		rec := s.dur.Recovery()
+		gauge(&b, "intellisphere_wal_bytes", "Bytes in the current write-ahead log segment.", float64(ds.WALBytes))
+		gauge(&b, "intellisphere_wal_records", "Records in the current write-ahead log segment.", float64(ds.WALRecords))
+		gauge(&b, "intellisphere_durable_seq", "Last acknowledged mutation sequence number.", float64(ds.Seq))
+		counter(&b, "intellisphere_wal_appends_total", "Mutation records appended to the write-ahead log since boot.", float64(ds.Appends))
+		counter(&b, "intellisphere_snapshots_total", "Engine snapshots written since boot.", float64(ds.Snapshots))
+		counter(&b, "intellisphere_snapshot_errors_total", "Background snapshot attempts that failed.", float64(snapErrs))
+		if !ds.LastSnapshot.IsZero() {
+			gauge(&b, "intellisphere_snapshot_age_seconds", "Seconds since the newest snapshot was written.", time.Since(ds.LastSnapshot).Seconds())
+		}
+		gauge(&b, "intellisphere_recovery_records_replayed", "WAL records replayed during boot recovery.", float64(rec.Replayed))
+		gauge(&b, "intellisphere_recovery_duration_seconds", "Wall time boot recovery took.", rec.DurationSec)
+	}
+
 	counter(&b, "intellisphere_retries_total", "Remote plan-step calls repeated after a transient failure.", float64(st.Resilience.Retries))
 	counter(&b, "intellisphere_fallbacks_total", "Degraded re-plans (one per excluded system).", float64(st.Resilience.Fallbacks))
 	counter(&b, "intellisphere_degraded_queries_total", "Queries answered by a fallback plan.", float64(st.Resilience.DegradedQueries))

@@ -21,7 +21,13 @@
 //	                                   (?n= bounds, ?format=text renders)
 //	GET  /health                       federation availability: circuit-breaker
 //	                                   states, retry/fallback counters; 503
-//	                                   while any breaker is open
+//	                                   while any breaker is open; with a data
+//	                                   directory, also the boot recovery
+//	                                   summary and snapshot/WAL position
+//	GET  /catalog                      registered tables with materialization
+//	                                   flags; POST registers/materializes
+//	GET  /links                        QueryGrid link configurations; POST
+//	                                   installs a per-system override
 //
 // /query and /explain also accept GET with a ?q= parameter for curl
 // convenience; /query?trace=1 additionally records and returns the query's
@@ -89,6 +95,9 @@ type Server struct {
 	// streamOversized counts stream lines rejected for exceeding the
 	// per-line byte cap (each still answers a well-formed error frame).
 	streamOversized metrics.Counter
+	// dur, when set via WithDurability, exposes snapshot/WAL state on
+	// /health and /metrics/prom.
+	dur *engine.Durability
 }
 
 // New wraps an engine for serving with default admission control on the hot
@@ -147,6 +156,8 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 	mux.Handle("/health", bound(s.handleHealth))
 	mux.Handle("/faults", bound(s.handleFaults))
 	mux.Handle("/models", bound(s.handleModels))
+	mux.Handle("/catalog", bound(s.handleCatalog))
+	mux.Handle("/links", bound(s.handleLinks))
 	return mux
 }
 
@@ -674,14 +685,17 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 // handleHealth reports federation availability. Load balancers get the
 // verdict from the status code alone: 200 while every breaker is closed,
 // 503 once any remote is open-circuited (queries may still answer via
-// degraded plans, but capacity is reduced).
+// degraded plans, but capacity is reduced). When the server runs with a
+// data directory, the response additionally carries the boot recovery
+// summary and the live snapshot/WAL position (durability degradation never
+// flips the status code — availability is the breakers' verdict).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := s.eng.Health()
 	status := http.StatusOK
 	if h.OpenCount > 0 {
 		status = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, status, h)
+	s.writeJSON(w, status, healthResponse{Health: h, Durability: s.durabilityStatus()})
 }
 
 // maxStreamLine bounds one statement line on /query/stream; the stream

@@ -1,0 +1,719 @@
+// Package e2e black-box tests the real serve binary. The crash-recovery
+// soak here is the durability subsystem's acceptance test: a seeded stream
+// of randomized actions — queries, batches, catalog registrations,
+// materializations, link overrides, fault pulses, model tunes and rollbacks
+// — interleaved with SIGKILL+restart cycles against the same data
+// directory. After every recovery it asserts that every acknowledged
+// mutation survived, that /explain answers byte-identical plans to both the
+// pre-kill process and a never-killed in-process reference engine fed the
+// same mutations, that circuit breakers recover after fault pulses, and
+// that the server process does not leak goroutines between kills.
+//
+//	go test ./test/e2e                                   # short seeded soak (CI)
+//	go test -race ./test/e2e -chaos.actions=2000 -timeout 30m   # long soak
+//	go test ./test/e2e -chaos.seed=7                     # different action stream
+package e2e
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"intellisphere/internal/catalog"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/demo"
+	"intellisphere/internal/engine"
+	"intellisphere/internal/querygrid"
+)
+
+var (
+	chaosActions = flag.Int("chaos.actions", 200, "randomized actions to drive through the soak")
+	chaosSeed    = flag.Int64("chaos.seed", 1, "action-stream seed (same seed, same soak)")
+)
+
+// demoSeed is the -seed both the server process and the in-process
+// reference engine build from; identical seeds make their boot states
+// bit-identical.
+const demoSeed = 1
+
+// flinkStatements exercise the blackbox logical-op remote: the aggregation
+// the tuner smoke drifts plus a scan. They feed flink's execution log (so
+// tune actions have material) and join the byte-compare probe set.
+var flinkStatements = []string{
+	"SELECT a10, SUM(a1) FROM t80000000_500 GROUP BY a10",
+	"SELECT a1 FROM t500000_250 WHERE a1 < 100000",
+}
+
+// probe is one statement in the byte-compare set. flink-touching probes
+// leave the reference comparison once a server-side tune or rollback
+// mutates flink's models (the reference never tunes — tuning consumes the
+// server's own execution log), but they always stay in the pre-kill vs
+// post-recovery self-comparison.
+type probe struct {
+	sql   string
+	flink bool
+}
+
+// tableSpec records one acknowledged catalog registration so recovery
+// checks know what must survive.
+type tableSpec struct {
+	name         string
+	rows         int64
+	width        int
+	system       string
+	materialized bool
+}
+
+// soak owns the server process, the reference engine, and the mirrored
+// mutation state.
+type soak struct {
+	t       *testing.T
+	r       *rand.Rand
+	bin     string
+	dataDir string
+	addr    string
+	base    string
+	logPath string
+	cmd     *exec.Cmd
+	exited  chan struct{}
+
+	ref           *engine.Engine
+	probes        []probe
+	specs         []tableSpec
+	links         map[string]querygrid.LinkConfig
+	flinkDiverged bool
+	nextTable     int
+	baseGoroutine int
+}
+
+// serverArgs are the flags every server incarnation starts with: the same
+// deterministic federation seed, the durable data directory, the blackbox
+// tunable remote, pprof (for the goroutine-leak check), and a tight breaker
+// so fault pulses cycle closed → open → closed quickly.
+func (s *soak) serverArgs() []string {
+	return []string{
+		"-addr", s.addr,
+		"-data-dir", s.dataDir,
+		"-seed", strconv.Itoa(demoSeed),
+		"-logical-remote",
+		"-pprof",
+		"-breaker-failures", "2",
+		"-breaker-open-timeout", "200ms",
+	}
+}
+
+func goCmd() string {
+	if g := os.Getenv("GO"); g != "" {
+		return g
+	}
+	return "go"
+}
+
+// buildServe compiles the real binary (with -race when the harness itself
+// is race-instrumented, so the soak exercises the same build).
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "serve")
+	args := []string{"build"}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "./cmd/serve")
+	cmd := exec.Command(goCmd(), args...)
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// start launches a server incarnation and waits for it to serve.
+func (s *soak) start() {
+	s.t.Helper()
+	f, err := os.OpenFile(s.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	cmd := exec.Command(s.bin, s.serverArgs()...)
+	cmd.Stdout, cmd.Stderr = f, f
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		s.t.Fatalf("start serve: %v", err)
+	}
+	s.cmd = cmd
+	exited := make(chan struct{})
+	s.exited = exited
+	go func() {
+		cmd.Wait()
+		f.Close()
+		close(exited)
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(s.base + "/profiles")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			s.fatalf("server did not come up")
+		}
+		select {
+		case <-exited:
+			s.fatalf("server exited during startup")
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// kill SIGKILLs the server — the crash under test.
+func (s *soak) kill() {
+	s.t.Helper()
+	if err := s.cmd.Process.Kill(); err != nil {
+		s.t.Fatalf("kill: %v", err)
+	}
+	<-s.exited
+}
+
+// fatalf fails the test with the tail of the server log attached.
+func (s *soak) fatalf(format string, args ...any) {
+	s.t.Helper()
+	tail := ""
+	if data, err := os.ReadFile(s.logPath); err == nil {
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) > 40 {
+			lines = lines[len(lines)-40:]
+		}
+		tail = "\nserver log tail:\n" + strings.Join(lines, "\n")
+	}
+	s.t.Fatalf(format+tail, args...)
+}
+
+func (s *soak) get(path string, out any) *http.Response {
+	s.t.Helper()
+	resp, err := http.Get(s.base + path)
+	if err != nil {
+		s.fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			s.fatalf("GET %s: decode: %v", path, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp
+}
+
+// post sends a JSON body and returns (status, response bytes).
+func (s *soak) post(path, body string) (int, []byte) {
+	s.t.Helper()
+	resp, err := http.Post(s.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		s.fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// explain fetches the server's rendered plan for one statement.
+func (s *soak) explain(sql string) string {
+	s.t.Helper()
+	var out struct {
+		Explain string `json:"explain"`
+	}
+	resp := s.get("/explain?q="+url.QueryEscape(sql), &out)
+	if resp.StatusCode != http.StatusOK {
+		s.fatalf("explain %q: status %d", sql, resp.StatusCode)
+	}
+	return out.Explain
+}
+
+// goroutines reads the server's live goroutine count from pprof.
+func (s *soak) goroutines() int {
+	s.t.Helper()
+	resp, err := http.Get(s.base + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		s.fatalf("pprof goroutine: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var n int
+	if _, err := fmt.Sscanf(string(data), "goroutine profile: total %d", &n); err != nil {
+		s.fatalf("parse goroutine profile: %v\n%s", err, data)
+	}
+	return n
+}
+
+// soakTable builds the deterministic table both the server mutation and the
+// reference registration share: datagen is a pure function of (rows, width,
+// system), renamed to a unique soak name.
+func soakTable(t *testing.T, name string, rows int64, width int, system string) *catalog.Table {
+	t.Helper()
+	tb, err := datagen.Table(rows, width, system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Name = name
+	return tb
+}
+
+// actRegisterTable registers a fresh table through POST /catalog (half the
+// time materializing it in the same request) and mirrors the acknowledged
+// mutation onto the reference engine.
+func (s *soak) actRegisterTable() {
+	s.t.Helper()
+	s.nextTable++
+	name := fmt.Sprintf("soak_t%d", s.nextTable)
+	rows := int64(2000 + s.r.Intn(28000))
+	width := []int{40, 100, 250}[s.r.Intn(3)]
+	system := []string{"hive", "spark", "presto"}[s.r.Intn(3)]
+	mat := s.r.Intn(2) == 0
+
+	tb := soakTable(s.t, name, rows, width, system)
+	tbJSON, err := json.Marshal(tb)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"table": %s}`, tbJSON)
+	if mat {
+		body = fmt.Sprintf(`{"table": %s, "materialize": %q}`, tbJSON, name)
+	}
+	status, resp := s.post("/catalog", body)
+	if status != http.StatusOK {
+		s.fatalf("register %s: status %d: %s", name, status, resp)
+	}
+	if err := s.ref.RegisterTable(soakTable(s.t, name, rows, width, system)); err != nil {
+		s.t.Fatalf("reference register %s: %v", name, err)
+	}
+	if mat {
+		if err := s.ref.Materialize(name); err != nil {
+			s.t.Fatalf("reference materialize %s: %v", name, err)
+		}
+	}
+	s.specs = append(s.specs, tableSpec{name: name, rows: rows, width: width, system: system, materialized: mat})
+	s.probes = append(s.probes, probe{
+		sql: fmt.Sprintf("SELECT %s.a1 FROM %s JOIN t100000_100 ON %s.a1 = t100000_100.a1", name, name, name),
+	})
+}
+
+// actSetLink installs a random QueryGrid override and mirrors it.
+func (s *soak) actSetLink() {
+	s.t.Helper()
+	system := []string{"hive", "spark", "presto", "flink"}[s.r.Intn(4)]
+	cfg := querygrid.LinkConfig{
+		BandwidthBytesPerSec: 1e7 + s.r.Float64()*9e8,
+		LatencySec:           s.r.Float64() * 0.5,
+		PerRowOverheadUS:     s.r.Float64() * 5,
+	}
+	body, err := json.Marshal(map[string]any{"system": system, "link": cfg})
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	status, resp := s.post("/links", string(body))
+	if status != http.StatusOK {
+		s.fatalf("set link %s: status %d: %s", system, status, resp)
+	}
+	if err := s.ref.SetLink(system, cfg); err != nil {
+		s.t.Fatalf("reference set link %s: %v", system, err)
+	}
+	s.links[system] = cfg
+}
+
+// actQuery runs one random probe through /query; execution results are not
+// byte-compared (actuals are wall-clock), only that the server answers.
+func (s *soak) actQuery() {
+	s.t.Helper()
+	sql := s.probes[s.r.Intn(len(s.probes))].sql
+	resp, err := http.Get(s.base + "/query?q=" + url.QueryEscape(sql))
+	if err != nil {
+		s.fatalf("query: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// actBatch runs three random probes through /query/batch.
+func (s *soak) actBatch() {
+	s.t.Helper()
+	sqls := make([]string, 3)
+	for i := range sqls {
+		sqls[i] = s.probes[s.r.Intn(len(s.probes))].sql
+	}
+	body, _ := json.Marshal(sqls)
+	status, resp := s.post("/query/batch", string(body))
+	if status != http.StatusOK {
+		s.fatalf("batch: status %d: %s", status, resp)
+	}
+}
+
+// actExplainCompare byte-compares one probe against the reference engine
+// (self-comparison against the pre-kill process happens at kill points).
+func (s *soak) actExplainCompare() {
+	s.t.Helper()
+	p := s.probes[s.r.Intn(len(s.probes))]
+	if p.flink && s.flinkDiverged {
+		return
+	}
+	want, err := s.ref.Explain(p.sql)
+	if err != nil {
+		s.t.Fatalf("reference explain %q: %v", p.sql, err)
+	}
+	if got := s.explain(p.sql); got != want {
+		s.t.Fatalf("explain %q diverged from reference:\nserver:\n%s\nreference:\n%s", p.sql, got, want)
+	}
+}
+
+// actFaultPulse forces an outage on hive, drives queries until the breaker
+// opens (health 503), lifts the outage, and drives queries until the
+// breaker closes again (health 200) — the breakers-recover assertion.
+func (s *soak) actFaultPulse() {
+	s.t.Helper()
+	if status, resp := s.post("/faults", `{"system": "hive", "outage": true}`); status != http.StatusOK {
+		s.fatalf("force outage: status %d: %s", status, resp)
+	}
+	hiveSQL := "SELECT a2, COUNT(*) FROM t1000000_100 GROUP BY a2"
+	opened := false
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(s.base + "/query?q=" + url.QueryEscape(hiveSQL))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if s.get("/health", nil).StatusCode == http.StatusServiceUnavailable {
+			opened = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !opened {
+		s.fatalf("breaker never opened under forced outage")
+	}
+	if status, resp := s.post("/faults", `{"system": "hive", "outage": false}`); status != http.StatusOK {
+		s.fatalf("lift outage: status %d: %s", status, resp)
+	}
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(s.base + "/query?q=" + url.QueryEscape(hiveSQL))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if s.get("/health", nil).StatusCode == http.StatusOK {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	s.fatalf("breaker never recovered after outage lifted")
+}
+
+// actModel tunes or rolls back flink's models through POST /models. A 400
+// is a legitimate verdict (log too small, nothing to roll back); a 200 that
+// changed the live model retires flink probes from the reference
+// comparison — the reference cannot reproduce a tune built from the
+// server's own execution log.
+func (s *soak) actModel() {
+	s.t.Helper()
+	if s.r.Intn(2) == 0 {
+		// Feed flink's execution log first — tuning consumes it, and the
+		// random query mix alone rarely leaves min_log records pending.
+		for i := 0; i < 6; i++ {
+			resp, err := http.Get(s.base + "/query?q=" + url.QueryEscape(flinkStatements[0]))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		status, resp := s.post("/models",
+			`{"action": "force-tune", "system": "flink", "holdout": 2, "min_log": 4, "train_iterations": 120}`)
+		switch status {
+		case http.StatusOK:
+			var out struct {
+				Promoted bool `json:"promoted"`
+			}
+			if err := json.Unmarshal(resp, &out); err != nil {
+				s.fatalf("decode tune response: %v: %s", err, resp)
+			}
+			if out.Promoted {
+				s.flinkDiverged = true
+			}
+		case http.StatusBadRequest:
+		default:
+			s.fatalf("tune: status %d: %s", status, resp)
+		}
+		return
+	}
+	status, resp := s.post("/models", `{"action": "rollback", "system": "flink"}`)
+	switch status {
+	case http.StatusOK:
+		s.flinkDiverged = true
+	case http.StatusBadRequest:
+	default:
+		s.fatalf("rollback: status %d: %s", status, resp)
+	}
+}
+
+// step runs one weighted random action.
+func (s *soak) step() {
+	switch n := s.r.Intn(100); {
+	case n < 35:
+		s.actQuery()
+	case n < 55:
+		s.actExplainCompare()
+	case n < 70:
+		s.actRegisterTable()
+	case n < 80:
+		s.actSetLink()
+	case n < 88:
+		s.actBatch()
+	case n < 94:
+		s.actFaultPulse()
+	default:
+		s.actModel()
+	}
+}
+
+// modelLineage is the crash-stable slice of GET /models: version IDs,
+// origins, and live flags per system (timestamps are re-stamped on replay,
+// so they are excluded by construction).
+type modelLineage map[string][]string
+
+func (s *soak) lineage() modelLineage {
+	s.t.Helper()
+	var out struct {
+		Systems []struct {
+			System   string `json:"system"`
+			Versions []struct {
+				ID     int    `json:"id"`
+				Origin string `json:"origin"`
+				Live   bool   `json:"live"`
+			} `json:"versions"`
+		} `json:"systems"`
+	}
+	s.get("/models", &out)
+	lin := modelLineage{}
+	for _, sys := range out.Systems {
+		for _, v := range sys.Versions {
+			lin[sys.System] = append(lin[sys.System], fmt.Sprintf("%d/%s/%v", v.ID, v.Origin, v.Live))
+		}
+	}
+	return lin
+}
+
+// checkRecovery is the post-restart invariant sweep: acked catalog and link
+// mutations present, Explain byte-identical to both the pre-kill capture
+// and the reference (non-diverged probes), model lineage intact.
+func (s *soak) checkRecovery(preKill map[string]string, preLineage modelLineage) {
+	s.t.Helper()
+	var health struct {
+		Status     string `json:"status"`
+		Durability *struct {
+			Recovery struct {
+				Restored bool `json:"restored"`
+				Replayed int  `json:"replayed"`
+			} `json:"recovery"`
+		} `json:"durability"`
+	}
+	if resp := s.get("/health", &health); resp.StatusCode != http.StatusOK {
+		s.fatalf("post-recovery health: %d (%+v)", resp.StatusCode, health)
+	}
+	if health.Durability == nil {
+		s.fatalf("recovered server reports no durability block")
+	}
+
+	for _, p := range s.probes {
+		got := s.explain(p.sql)
+		if want := preKill[p.sql]; got != want {
+			s.t.Fatalf("explain %q diverged across SIGKILL:\npre-kill:\n%s\nrecovered:\n%s", p.sql, want, got)
+		}
+		if !p.flink || !s.flinkDiverged {
+			want, err := s.ref.Explain(p.sql)
+			if err != nil {
+				s.t.Fatalf("reference explain %q: %v", p.sql, err)
+			}
+			if got != want {
+				s.t.Fatalf("recovered explain %q diverged from reference:\nserver:\n%s\nreference:\n%s", p.sql, got, want)
+			}
+		}
+	}
+
+	var entries []struct {
+		Table struct {
+			Name string `json:"name"`
+		} `json:"table"`
+		Materialized bool `json:"materialized"`
+	}
+	s.get("/catalog", &entries)
+	mat := map[string]bool{}
+	have := map[string]bool{}
+	for _, e := range entries {
+		have[e.Table.Name] = true
+		mat[e.Table.Name] = e.Materialized
+	}
+	for _, spec := range s.specs {
+		if !have[spec.name] {
+			s.fatalf("acked table %s lost across SIGKILL", spec.name)
+		}
+		if mat[spec.name] != spec.materialized {
+			s.fatalf("table %s materialization flag = %v, want %v", spec.name, mat[spec.name], spec.materialized)
+		}
+	}
+
+	var links struct {
+		Links map[string]querygrid.LinkConfig `json:"links"`
+	}
+	s.get("/links", &links)
+	for system, want := range s.links {
+		if got, ok := links.Links[system]; !ok || got != want {
+			s.fatalf("acked link override on %s lost across SIGKILL: got %+v want %+v", system, links.Links[system], want)
+		}
+	}
+
+	if got := s.lineage(); fmt.Sprint(got) != fmt.Sprint(preLineage) {
+		s.t.Fatalf("model lineage diverged across SIGKILL:\npre-kill: %v\nrecovered: %v", preLineage, got)
+	}
+}
+
+// TestCrashRecoverySoak is the seeded black-box soak. See the package
+// comment for invocation variants.
+func TestCrashRecoverySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash soak builds and repeatedly restarts the real binary")
+	}
+	ref, err := demo.BuildFederation(demo.Config{Seed: demoSeed, LogicalRemote: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &soak{
+		t:       t,
+		r:       rand.New(rand.NewSource(*chaosSeed)),
+		bin:     buildServe(t),
+		dataDir: t.TempDir(),
+		addr:    freeAddr(t),
+		logPath: filepath.Join(t.TempDir(), "serve.log"),
+		ref:     ref.Engine,
+		links:   map[string]querygrid.LinkConfig{},
+	}
+	s.base = "http://" + s.addr
+	for _, sql := range demo.Statements() {
+		s.probes = append(s.probes, probe{sql: sql})
+	}
+	for _, sql := range flinkStatements {
+		s.probes = append(s.probes, probe{sql: sql, flink: true})
+	}
+	s.start()
+	defer func() {
+		if s.cmd != nil && s.cmd.Process != nil {
+			s.cmd.Process.Kill()
+		}
+	}()
+	s.baseGoroutine = s.goroutines()
+
+	actions := *chaosActions
+	cycles := actions / 40
+	if cycles < 3 {
+		cycles = 3
+	}
+	perCycle := actions / cycles
+	t.Logf("soak: %d actions, %d SIGKILL cycles, seed %d", actions, cycles, *chaosSeed)
+
+	done := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		for i := 0; i < perCycle && done < actions; i++ {
+			s.step()
+			done++
+		}
+		// Quiesce, then check the process has not grown its goroutine count
+		// beyond transient slack (drainer, background snapshot, in-flight
+		// HTTP) since this incarnation booted.
+		time.Sleep(300 * time.Millisecond)
+		if n := s.goroutines(); n > s.baseGoroutine+30 {
+			s.fatalf("goroutine leak: %d now vs %d at boot", n, s.baseGoroutine)
+		}
+
+		preKill := map[string]string{}
+		for _, p := range s.probes {
+			preKill[p.sql] = s.explain(p.sql)
+		}
+		preLineage := s.lineage()
+
+		// Half the kills land while a registration is in flight, so the WAL
+		// tail is torn mid-mutation. The response is never received, so the
+		// mutation is unacknowledged: the recovered server may or may not
+		// have it (either is correct), and the name is burned so a later
+		// registration cannot collide with a survivor.
+		if s.r.Intn(2) == 0 {
+			s.nextTable++
+			name := fmt.Sprintf("soak_t%d", s.nextTable)
+			tb := soakTable(t, name, 5000, 40, "hive")
+			tbJSON, _ := json.Marshal(tb)
+			go http.Post(s.base+"/catalog", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"table": %s}`, tbJSON)))
+			time.Sleep(time.Duration(s.r.Intn(3)) * time.Millisecond)
+		}
+		s.kill()
+		s.start()
+		s.baseGoroutine = s.goroutines()
+		s.checkRecovery(preKill, preLineage)
+	}
+
+	// Final cycle: graceful SIGTERM writes a shutdown snapshot; the next
+	// boot must recover from it (restored, nothing to replay) and still
+	// answer byte-identical plans.
+	preKill := map[string]string{}
+	for _, p := range s.probes {
+		preKill[p.sql] = s.explain(p.sql)
+	}
+	preLineage := s.lineage()
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case <-s.exited:
+	case <-time.After(30 * time.Second):
+		s.fatalf("server did not exit on SIGTERM")
+	}
+	s.start()
+	var health struct {
+		Durability *struct {
+			Recovery struct {
+				Restored bool `json:"restored"`
+				Replayed int  `json:"replayed"`
+			} `json:"recovery"`
+		} `json:"durability"`
+	}
+	s.get("/health", &health)
+	if health.Durability == nil || !health.Durability.Recovery.Restored || health.Durability.Recovery.Replayed != 0 {
+		s.fatalf("boot after SIGTERM did not recover from the shutdown snapshot: %+v", health.Durability)
+	}
+	s.checkRecovery(preKill, preLineage)
+	t.Logf("soak done: %d actions, %d tables registered, flink diverged=%v", done, len(s.specs), s.flinkDiverged)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package e2e
+
+// raceEnabled makes the soak build the server binary with -race too, so a
+// race-instrumented harness exercises a race-instrumented server.
+const raceEnabled = true
