@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak ci
+.PHONY: all build vet test race bench bench-parallel-smoke bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak ci
 
 all: build
 
@@ -28,10 +28,18 @@ bench:
 	$(GO) test ./internal/nn -run '^$$' -bench BenchmarkNNTrain -benchtime 1x
 	$(GO) test ./internal/optimizer -run '^$$' -bench BenchmarkOptimizerPlan -benchtime 1x
 
-# Full benchmark run recorded as a JSON perf snapshot (BENCH_PR6.json;
+# One-iteration pass over the RunParallel serving benchmarks at -cpu 1:
+# proves the parallel suite still builds and runs without paying for a real
+# multi-core sweep. Part of `make ci`; real numbers come from
+# `make bench-snapshot` (which sweeps -cpu 1,4,8).
+bench-parallel-smoke:
+	$(GO) test ./internal/engine -run '^$$' -bench 'Parallel' -benchtime 1x -cpu 1
+
+# Full benchmark run recorded as a JSON perf snapshot (BENCH_PR9.json;
 # earlier BENCH_PR*.json files are history, never overwritten): ns/op plus
-# B/op + allocs/op per benchmark, so the trajectory across PRs stays
-# diffable.
+# B/op + allocs/op per benchmark, and the RunParallel serving suite under a
+# -cpu sweep with throughput scaling ratios, so the trajectory across PRs
+# stays diffable.
 bench-snapshot:
 	GO="$(GO)" sh scripts/bench_snapshot.sh
 
@@ -89,4 +97,4 @@ crash-smoke:
 crash-soak:
 	$(GO) test -race ./test/e2e -run TestCrashRecoverySoak -count=1
 
-ci: vet build race bench bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak
+ci: vet build race bench bench-parallel-smoke bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak

@@ -53,6 +53,10 @@
 // cache is hot before the first client arrives. -pprof additionally mounts
 // the net/http/pprof profiling handlers under /debug/pprof/ (off by
 // default — profiling endpoints are not for unauthenticated exposure).
+// -contention-profile N arms the runtime's mutex and block samplers
+// (SetMutexProfileFraction / SetBlockProfileRate) so those two pprof
+// endpoints actually populate; combine it with -pprof to measure lock
+// contention on a live server.
 //
 // The hot endpoints (/query, /query/batch, /query/stream) sit behind an
 // admission controller: -max-inflight caps concurrent work, -queue-depth
@@ -77,6 +81,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"os/signal"
 	"syscall"
 	"time"
@@ -108,6 +113,7 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-client token-bucket refill in requests/sec, keyed by X-Client-ID (0 = unlimited)")
 	warm := flag.Bool("warm", false, "pre-plan the demo statement mix into the plan cache before serving")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	contention := flag.Int("contention-profile", 0, "mutex/block profiling sample rate for the pprof mutex and block endpoints (0 = off; 1 = every event; n = 1-in-n mutex events / n ns block threshold)")
 	traceBuffer := flag.Int("trace-buffer", 0, "recent-trace ring capacity (0 = default 64, negative disables)")
 	logicalRemote := flag.Bool("logical-remote", false, "add the blackbox 'flink' remote with logical-op (tunable) cost models")
 	tuneInterval := flag.Duration("tune-interval", 0, "drift-tuner poll period (0 disables the background tuner)")
@@ -206,6 +212,15 @@ func main() {
 		srvOpts = srvOpts.WithDurability(dur)
 	}
 	handler := srvOpts.Handler(*timeout)
+	if *contention > 0 {
+		// Without these, the /debug/pprof/mutex and /debug/pprof/block
+		// endpoints exist but stay silently empty — the runtime samples
+		// nothing by default. Sampling costs a little on every contended
+		// lock, so it stays opt-in rather than riding -pprof.
+		runtime.SetMutexProfileFraction(*contention)
+		runtime.SetBlockProfileRate(*contention)
+		log.Printf("contention profiling on: mutex fraction=%d, block rate=%dns", *contention, *contention)
+	}
 	if *pprofOn {
 		// The API mux is timeout-wrapped; pprof handlers must not be (a CPU
 		// profile legitimately streams for 30s), so they mount on an outer

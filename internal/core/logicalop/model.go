@@ -110,7 +110,14 @@ type Estimate struct {
 // Model is one trained logical-operator costing model (one per operator
 // kind, e.g. the seven-dimension join model of Figure 2).
 type Model struct {
-	mu       sync.Mutex
+	// mu is reader/writer: the serving path (Estimate, EstimateBatch,
+	// PredictBatch and the accessors) shares the read lock — safe because
+	// nn.Regressor prediction is concurrency-safe and everything else those
+	// paths touch is only written under the exclusive lock, which the
+	// mutators (Observe, SeedLog, RefitAlpha, OfflineTune, SetAlpha,
+	// SetNeighborK) take. Concurrent estimates on different cores no longer
+	// serialize on each other.
+	mu       sync.RWMutex
 	kind     string
 	dimNames []string
 	dims     []DimensionMeta
@@ -197,8 +204,8 @@ func (m *Model) Kind() string { return m.kind }
 
 // Alpha returns the current remedy combination weight.
 func (m *Model) Alpha() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.alpha
 }
 
@@ -234,23 +241,23 @@ func clampAlpha(a float64) float64 {
 
 // Dimensions returns a copy of the per-dimension metadata.
 func (m *Model) Dimensions() []DimensionMeta {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return append([]DimensionMeta(nil), m.dims...)
 }
 
 // TrainingSize returns the number of records currently backing the model.
 func (m *Model) TrainingSize() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.trainX)
 }
 
 // PendingLog returns the number of logged executions awaiting offline
 // tuning.
 func (m *Model) PendingLog() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.logRec)
 }
 
@@ -259,8 +266,8 @@ func (m *Model) PendingLog() int {
 // range, the network answers alone; otherwise the QueryTime-Remedy procedure
 // combines the network with an on-the-fly pivot regression.
 func (m *Model) Estimate(x []float64) (Estimate, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if len(x) != len(m.dims) {
 		return Estimate{}, fmt.Errorf("logicalop: %s estimate with %d dims, want %d", m.kind, len(x), len(m.dims))
 	}
@@ -299,8 +306,8 @@ func (m *Model) Estimate(x []float64) (Estimate, error) {
 // within the batch — plan candidates for the same statement often present the
 // exact same dimension vector — are computed once and memoized.
 func (m *Model) EstimateBatch(xs [][]float64) ([]Estimate, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for _, x := range xs {
 		if len(x) != len(m.dims) {
 			return nil, fmt.Errorf("logicalop: %s estimate with %d dims, want %d", m.kind, len(x), len(m.dims))
@@ -527,8 +534,8 @@ func (m *Model) Observe(x []float64, actualSec, nnSec, regSec float64) {
 // JSON wire format deliberately excludes the log, so a serialized clone
 // starts empty) and to hold out the most recent records for shadow scoring.
 func (m *Model) LogRecords() []Record {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]Record, len(m.logRec))
 	for i, r := range m.logRec {
 		out[i] = r
@@ -622,7 +629,7 @@ func (m *Model) OfflineTune(tc nn.TrainConfig) (*nn.TrainResult, error) {
 // PredictBatch evaluates the plain network over a set of inputs (no remedy);
 // the experiment harness uses it for the accuracy scatter plots.
 func (m *Model) PredictBatch(x [][]float64) []float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.reg.PredictAll(x)
 }

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"intellisphere/internal/core"
+	"intellisphere/internal/datagen"
+	"intellisphere/internal/nn"
+	"intellisphere/internal/querygrid"
+)
+
+// genSum mirrors optimizer.generation: the invalidation vector the plan
+// cache stamps entries with. Mutation counters only increase, so the sum is
+// monotonic and two equal reads bracket a mutation-free interval.
+func genSum(e *Engine) uint64 {
+	g := e.cat.Generation() + e.grid.Generation() + e.estimators.Generation()
+	for _, est := range e.estimators.Snapshot() {
+		if v, ok := est.(core.Versioned); ok {
+			g += v.Generation()
+		}
+	}
+	return g
+}
+
+// TestPlanCacheGenerationStorm is the sharded cache's torture test: reader
+// goroutines hammer warm Explain while a mutator loops RegisterTable /
+// SetLink / SwitchProfile / TuneSystem, each of which bumps the generation
+// vector. Under -race this exercises every lock-free path (COW shard maps,
+// CLOCK bits, stale evict-on-sight) against concurrent invalidation.
+//
+// Staleness is asserted two ways, both sound against the engine's
+// mutate-then-bump ordering:
+//   - any Explain observed entirely at the final generation (the bracketing
+//     genSum reads both equal it) must render byte-identically to a
+//     from-scratch replan of the final state;
+//   - after the storm, purging the cache and replanning must reproduce the
+//     cached renders exactly — a stale survivor would differ.
+//
+// Counter reconciliation closes the books: every Explain/Query performs
+// exactly one cache lookup, so summed shard hits+misses must equal the
+// number of calls.
+func TestPlanCacheGenerationStorm(t *testing.T) {
+	e := newEngine(t)
+	registerLogicalHive(t, e)
+
+	statements := []string{
+		"SELECT a10, SUM(a1) FROM t80000000_500 GROUP BY a10",
+		"SELECT r.a1 FROM t80000000_500 r JOIN t100000_100 s ON r.a1 = s.a1",
+		"SELECT a1 FROM t40000_250 WHERE a1 < 1000",
+	}
+
+	var lookups atomic.Uint64
+	// Seed the execution log so the mutator's TuneSystem passes have records
+	// to fold in.
+	for _, sql := range statements {
+		if _, err := e.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+		lookups.Add(1)
+	}
+	e.FlushFeedback()
+
+	type obs struct {
+		sql, out string
+		gen      uint64 // genSum before and after, when equal (else 0 = discard)
+	}
+	const readers = 8
+	const explainsPerReader = 150
+	// Readers run at least explainsPerReader iterations and keep going until
+	// the mutator is done plus a short tail, so some observations are always
+	// bracketed at the final generation even when -race slows the mutator.
+	mutatorDone := make(chan struct{})
+	results := make([][]obs, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]obs, 0, explainsPerReader)
+			tail := -1
+			for i := 0; ; i++ {
+				if i >= explainsPerReader {
+					if tail < 0 {
+						select {
+						case <-mutatorDone:
+							tail = i + 10
+						default:
+						}
+					} else if i >= tail {
+						break
+					}
+					if i > 100000 {
+						t.Error("reader never saw the mutator finish")
+						return
+					}
+				}
+				sql := statements[(g+i)%len(statements)]
+				g1 := genSum(e)
+				out, err := e.Explain(sql)
+				lookups.Add(1)
+				if err != nil {
+					t.Errorf("Explain under storm: %v", err)
+					return
+				}
+				if out == "" {
+					t.Error("empty Explain under storm")
+					return
+				}
+				if g2 := genSum(e); g1 == g2 {
+					buf = append(buf, obs{sql: sql, out: out, gen: g1})
+				}
+			}
+			results[g] = buf
+		}(g)
+	}
+
+	// The mutator: every iteration bumps at least one generation component.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(mutatorDone)
+		slow := querygrid.DefaultLink()
+		slow.BandwidthBytesPerSec /= 4 // cheaper shipping vs default: plans re-cost
+		for i := 0; i < 6; i++ {
+			tb, err := datagen.Table(int64(10000+i), 40, "hivebb")
+			if err != nil {
+				t.Errorf("storm table: %v", err)
+				return
+			}
+			tb.Name = fmt.Sprintf("storm_%d", i)
+			if err := e.RegisterTable(tb); err != nil {
+				t.Errorf("storm RegisterTable: %v", err)
+				return
+			}
+			link := querygrid.DefaultLink()
+			if i%2 == 0 {
+				link = slow
+			}
+			if err := e.SetLink("hivebb", link); err != nil {
+				t.Errorf("storm SetLink: %v", err)
+				return
+			}
+			if err := e.SwitchProfile("hivebb", core.LogicalOp); err != nil {
+				t.Errorf("storm SwitchProfile: %v", err)
+				return
+			}
+			if i%3 == 2 {
+				// Feed the log, then fold it in (an in-place model mutation
+				// plus an explicit generation bump).
+				if _, err := e.Query(statements[0]); err != nil {
+					t.Errorf("storm Query: %v", err)
+					return
+				}
+				lookups.Add(1)
+				if _, err := e.TuneSystem("hivebb", nn.TrainConfig{Iterations: 20, Optimizer: nn.Adam, BatchSize: 32, Seed: 5}); err != nil {
+					t.Errorf("storm TuneSystem: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiescent check: cached renders vs a purged, from-scratch replan.
+	finalGen := genSum(e)
+	fresh := make(map[string]string, len(statements))
+	cached := make(map[string]string, len(statements))
+	for _, sql := range statements {
+		out, err := e.Explain(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lookups.Add(1)
+		cached[sql] = out
+	}
+	e.opt.Cache.Purge()
+	for _, sql := range statements {
+		out, err := e.Explain(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lookups.Add(1)
+		fresh[sql] = out
+		if cached[sql] != out {
+			t.Errorf("stale plan served for %q after storm:\ncached:\n%s\nfresh:\n%s", sql, cached[sql], out)
+		}
+	}
+	if g := genSum(e); g != finalGen {
+		t.Fatalf("generation moved after storm: %d -> %d", finalGen, g)
+	}
+
+	// Live check: every observation bracketed at the final generation must
+	// match the final render. The mutator finished before the slowest
+	// readers, so a healthy run has many such observations.
+	atFinal := 0
+	for _, buf := range results {
+		for _, o := range buf {
+			if o.gen != finalGen {
+				continue
+			}
+			atFinal++
+			if o.out != fresh[o.sql] {
+				t.Errorf("stale plan served at final generation for %q", o.sql)
+			}
+		}
+	}
+	t.Logf("observations at final generation: %d", atFinal)
+	if atFinal == 0 {
+		t.Error("no observations bracketed at the final generation — live staleness check had no coverage")
+	}
+
+	s := e.PlanCacheStats()
+	if s.Hits+s.Misses != lookups.Load() {
+		t.Errorf("shard counters do not reconcile: hits %d + misses %d != lookups %d",
+			s.Hits, s.Misses, lookups.Load())
+	}
+	if s.Stale == 0 {
+		t.Error("storm produced no stale lookups — invalidation untested")
+	}
+}

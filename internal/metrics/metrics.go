@@ -1,8 +1,10 @@
 // Package metrics provides the lightweight instrumentation primitives the
-// serving layer exports on /metrics: lock-free counters, fixed-bucket
+// serving layer exports on /metrics: lock-free counters, striped fixed-bucket
 // exponential latency histograms, and a sliding-window rate meter for QPS.
 // Everything is safe for concurrent use and allocation-free on the hot
-// (Observe/Inc) paths.
+// (Observe/Inc/Tick) paths, and the write paths are striped or CAS-based so
+// concurrent recorders on different cores do not serialize on a mutex or a
+// shared cache line.
 package metrics
 
 import (
@@ -26,14 +28,34 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Histogram accumulates duration observations into exponential buckets. The
-// zero value is not usable; call NewLatencyHistogram.
-type Histogram struct {
-	bounds   []float64 // upper bound (seconds) per bucket, ascending
+// histStripes is the write fan-out of a Histogram. Fixed rather than sized
+// from GOMAXPROCS so a histogram built early keeps scaling if the process is
+// later given more cores (benchmarks sweep -cpu); 8 stripes of ~2 cache
+// lines each is cheap enough to pay unconditionally.
+const histStripes = 8
+
+// histStripe is one independent accumulator. The trailing pad pushes the
+// next stripe's hot fields (count/sumNanos, written on every observation)
+// onto different cache lines.
+type histStripe struct {
 	counts   []atomic.Uint64
 	overflow atomic.Uint64
 	count    atomic.Uint64
 	sumNanos atomic.Uint64
+	_        [64]byte
+}
+
+// Histogram accumulates duration observations into exponential buckets. The
+// zero value is not usable; call NewLatencyHistogram.
+//
+// Writes land on one of histStripes stripes; Snapshot merges them. Stripe
+// selection rides sync.Pool's per-P caching: each P that observes gets a
+// sticky stripe index from the pool, so steady-state recording touches only
+// that core's stripe with no shared writes at all.
+type Histogram struct {
+	bounds  []float64 // upper bound (seconds) per bucket, ascending
+	stripes [histStripes]histStripe
+	idxPool sync.Pool // *int stripe indices, handed out round-robin
 }
 
 // NewLatencyHistogram builds a histogram with exponential bounds from 50 µs
@@ -44,24 +66,45 @@ func NewLatencyHistogram() *Histogram {
 	for b := 50e-6; b < 110; b *= 2 {
 		bounds = append(bounds, b)
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+	h := &Histogram{bounds: bounds}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Uint64, len(bounds))
+	}
+	var next atomic.Uint32
+	h.idxPool.New = func() any {
+		i := int(next.Add(1)-1) % histStripes
+		return &i
+	}
+	return h
+}
+
+// stripe picks this P's sticky stripe. Get immediately followed by Put keeps
+// the index in the pool's per-P private slot, so the same P keeps hitting the
+// same stripe while different Ps spread round-robin — no goroutine IDs, no
+// unsafe.
+func (h *Histogram) stripe() *histStripe {
+	v := h.idxPool.Get().(*int)
+	s := &h.stripes[*v]
+	h.idxPool.Put(v)
+	return s
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	sec := d.Seconds()
 	if sec < 0 {
-		sec = 0
+		sec, d = 0, 0
 	}
-	h.count.Add(1)
-	h.sumNanos.Add(uint64(d.Nanoseconds()))
+	st := h.stripe()
+	st.count.Add(1)
+	st.sumNanos.Add(uint64(d.Nanoseconds()))
 	for i, b := range h.bounds {
 		if sec <= b {
-			h.counts[i].Add(1)
+			st.counts[i].Add(1)
 			return
 		}
 	}
-	h.overflow.Add(1)
+	st.overflow.Add(1)
 }
 
 // ObserveN records n observations of d each. Batch callers use it to
@@ -76,15 +119,16 @@ func (h *Histogram) ObserveN(d time.Duration, n int) {
 		sec, d = 0, 0
 	}
 	un := uint64(n)
-	h.count.Add(un)
-	h.sumNanos.Add(un * uint64(d.Nanoseconds()))
+	st := h.stripe()
+	st.count.Add(un)
+	st.sumNanos.Add(un * uint64(d.Nanoseconds()))
 	for i, b := range h.bounds {
 		if sec <= b {
-			h.counts[i].Add(un)
+			st.counts[i].Add(un)
 			return
 		}
 	}
-	h.overflow.Add(un)
+	st.overflow.Add(un)
 }
 
 // Bucket is one histogram bucket in a snapshot.
@@ -112,25 +156,33 @@ type HistogramSnapshot struct {
 	Overflow uint64 `json:"overflow,omitempty"`
 }
 
-// Snapshot captures the histogram. Quantiles are upper-bound estimates from
-// the bucket layout (each quantile reports the bound of the bucket that
-// contains it, clamped to the last bound when the quantile falls into the
-// overflow region).
+// Snapshot captures the histogram by merging all stripes. Quantiles are
+// upper-bound estimates from the bucket layout (each quantile reports the
+// bound of the bucket that contains it, clamped to the last bound when the
+// quantile falls into the overflow region).
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count.Load()}
-	s.SumSeconds = float64(h.sumNanos.Load()) / 1e9
+	var s HistogramSnapshot
+	var sumNanos uint64
+	counts := make([]uint64, len(h.bounds))
+	var total uint64
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		s.Count += st.count.Load()
+		sumNanos += st.sumNanos.Load()
+		s.Overflow += st.overflow.Load()
+		for j := range counts {
+			counts[j] += st.counts[j].Load()
+		}
+	}
+	s.SumSeconds = float64(sumNanos) / 1e9
 	if s.Count > 0 {
 		s.MeanSec = s.SumSeconds / float64(s.Count)
 	}
-	counts := make([]uint64, len(h.bounds))
-	var total uint64
 	s.Buckets = make([]Bucket, len(h.bounds))
 	for i, b := range h.bounds {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
 		s.Buckets[i] = Bucket{UpperBoundSec: b, Count: counts[i]}
+		total += counts[i]
 	}
-	s.Overflow = h.overflow.Load()
 	total += s.Overflow
 	if total == 0 {
 		return s
@@ -161,12 +213,17 @@ const rateWindow = 60
 // RateMeter tracks events per second over a sliding 60-second window (the
 // /metrics QPS figure). It keeps one slot per second and expires slots
 // lazily as time advances.
+//
+// Each slot is a single atomic word packing the slot's unix second (top 32
+// bits, truncated) with its event count (low 32 bits), so Tick is a CAS loop
+// with no mutex and Rate is a pure scan — a /metrics scrape never stalls the
+// per-request tick on the serving path. A slot only counts toward Rate when
+// its stamp matches the one second in the current window that maps to it, so
+// lazily-expired slots read as zero exactly as before. The 32-bit count
+// saturation point (4.29 billion events in one second) and the 136-year
+// stamp wrap are both beyond any rate this process can see.
 type RateMeter struct {
-	mu    sync.Mutex
-	slots [rateWindow]uint64
-	// stamp[i] is the unix second slots[i] last counted for; a slot whose
-	// stamp is outside the window holds stale data and reads as zero.
-	stamp [rateWindow]int64
+	slots [rateWindow]atomic.Uint64
 	now   func() time.Time // injectable clock for tests
 }
 
@@ -186,26 +243,35 @@ func NewRateMeterClock(now func() time.Time) *RateMeter {
 // Tick records one event.
 func (r *RateMeter) Tick() {
 	sec := r.now().Unix()
-	i := int(sec % rateWindow)
-	r.mu.Lock()
-	if r.stamp[i] != sec {
-		r.stamp[i] = sec
-		r.slots[i] = 0
+	slot := &r.slots[int(sec%rateWindow)]
+	stamp := uint64(uint32(sec)) << 32
+	for {
+		v := slot.Load()
+		if v&^uint64(1<<32-1) == stamp {
+			if slot.CompareAndSwap(v, v+1) {
+				return
+			}
+		} else if slot.CompareAndSwap(v, stamp|1) {
+			return
+		}
 	}
-	r.slots[i]++
-	r.mu.Unlock()
 }
 
 // Rate returns events/second averaged over the window, counting only slots
 // that belong to the last rateWindow seconds.
 func (r *RateMeter) Rate() float64 {
 	sec := r.now().Unix()
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var total uint64
 	for i := range r.slots {
-		if sec-r.stamp[i] < rateWindow {
-			total += r.slots[i]
+		v := r.slots[i].Load()
+		if v == 0 {
+			continue
+		}
+		// The one second in (sec-rateWindow, sec] that maps to slot i; the
+		// slot counts only if it was stamped for exactly that second.
+		want := sec - ((sec-int64(i))%rateWindow+rateWindow)%rateWindow
+		if uint32(v>>32) == uint32(want) {
+			total += v & (1<<32 - 1)
 		}
 	}
 	return float64(total) / rateWindow

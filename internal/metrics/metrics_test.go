@@ -255,3 +255,51 @@ func TestRateMeter(t *testing.T) {
 		t.Errorf("rate after reuse = %v", rate)
 	}
 }
+
+// TestRateMeterConcurrent pins the CAS tick path: with the clock frozen,
+// every concurrent Tick must land in the same slot without losing a count,
+// and Rate scans without blocking the writers.
+func TestRateMeterConcurrent(t *testing.T) {
+	r := NewRateMeterClock(func() time.Time { return time.Unix(5000, 0) })
+	var wg sync.WaitGroup
+	const goroutines, ticks = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				r.Tick()
+				if i%97 == 0 {
+					r.Rate()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := r.Rate(), float64(goroutines*ticks)/60; got != want {
+		t.Errorf("rate = %v, want %v", got, want)
+	}
+}
+
+// TestAccuracyResetRefill checks the striped window refills evenly after
+// Reset and keeps the lifetime count.
+func TestAccuracyResetRefill(t *testing.T) {
+	a := NewAccuracy(16)
+	for i := 0; i < 10; i++ {
+		a.Observe(1, 1)
+	}
+	a.Reset()
+	for i := 0; i < 6; i++ {
+		a.Observe(2, 1)
+	}
+	s := a.Snapshot()
+	if s.Count != 16 {
+		t.Errorf("lifetime count = %d, want 16", s.Count)
+	}
+	if s.Window != 6 {
+		t.Errorf("window after reset+6 = %d, want 6", s.Window)
+	}
+	if s.MeanQError != 2 {
+		t.Errorf("mean q-error = %v, want 2 (only post-reset samples)", s.MeanQError)
+	}
+}

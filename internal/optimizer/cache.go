@@ -1,93 +1,245 @@
 package optimizer
 
 import (
-	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
-// PlanCache is an LRU cache of finished plans keyed by normalized statement
-// shape. Each entry records the generation vector sum (catalog + grid +
-// estimator registry + per-estimator generations) observed when the plan was
-// built; a lookup whose current generation differs treats the entry as stale
-// and evicts it, so RegisterTable, InstallLogicalModels, Switch, TuneSystem,
-// and link recalibration all invalidate implicitly — no explicit purge calls
-// are threaded through the engine.
+// PlanCache is a sharded, generation-stamped cache of finished plans keyed by
+// normalized statement shape. Each entry records the generation vector sum
+// (catalog + grid + estimator registry + per-estimator generations) observed
+// when the plan was built; a lookup whose current generation differs treats
+// the entry as stale and evicts it, so RegisterTable, InstallLogicalModels,
+// Switch, TuneSystem, and link recalibration all invalidate implicitly — no
+// explicit purge calls are threaded through the engine.
+//
+// The warm hit path is contention-free: the key is hashed to one of up to
+// planCacheMaxShards shards, each shard publishes an immutable copy-on-write
+// map behind an atomic pointer, and recency is a CLOCK access bit (an
+// atomic.Bool set on hit, checked first so repeated hits on a hot entry do
+// not even dirty the cache line). No lock is taken and no shared list is
+// mutated on a hit; the per-shard mutex serializes only inserts, stale
+// evictions, and Purge. Stats is likewise lock-free (per-shard atomic
+// counters plus the published map sizes), so admin/metrics scrapes never
+// block lookups.
 //
 // Cached *Plan values are shared across callers and must be treated as
 // immutable; every consumer in this repo only reads them.
 type PlanCache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used
-	entries map[string]*list.Element
-
-	hits, misses, stale, evicted uint64
+	cap    int // total capacity across shards
+	mask   uint64
+	shards []planShard
 }
 
-type cacheEntry struct {
+const (
+	// planCacheMaxShards bounds the shard fan-out. 16 shards is enough to
+	// spread inserts across the core counts this repo targets while keeping
+	// Stats cheap.
+	planCacheMaxShards = 16
+	// planCacheMinPerShard keeps shards from becoming so small that the
+	// CLOCK ring degenerates to direct-mapped behaviour; small caches stay
+	// single-sharded, which also preserves the exact whole-cache eviction
+	// order the LRU tests pin.
+	planCacheMinPerShard = 16
+)
+
+// planShard is one independent slice of the cache. Counters are per-shard
+// atomics summed by Stats; the trailing pad keeps one shard's hot counters
+// off its neighbour's cache lines.
+type planShard struct {
+	m atomic.Pointer[map[string]*planEntry] // published read view, copy-on-write
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stale   atomic.Uint64
+	evicted atomic.Uint64
+
+	mu    sync.Mutex
+	cap   int
+	ring  []*planEntry // CLOCK ring; holes (nil) left by stale eviction
+	holes []int        // free ring slots
+	hand  int
+
+	_ [64]byte
+}
+
+// planEntry is immutable once published except for the CLOCK access bit
+// (lock-free) and the ring slot index (guarded by the shard mutex). put
+// replaces an entry wholesale rather than mutating it in place, so readers
+// holding an old map snapshot always see a consistent (key, gen, plan)
+// triple.
+type planEntry struct {
 	key  string
 	gen  uint64
 	plan *Plan
+	slot int
+	ref  atomic.Bool
 }
 
 // NewPlanCache builds a cache bounded to capacity entries. Capacity ≤ 0
-// selects the default of 256.
+// selects the default of 256. The shard count is the largest power of two
+// ≤ planCacheMaxShards that still leaves every shard planCacheMinPerShard
+// entries, so tiny caches (and the eviction-order tests that exercise them)
+// run single-sharded.
 func NewPlanCache(capacity int) *PlanCache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &PlanCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+	n := 1
+	for n*2 <= planCacheMaxShards && capacity/(n*2) >= planCacheMinPerShard {
+		n *= 2
+	}
+	c := &PlanCache{cap: capacity, mask: uint64(n - 1), shards: make([]planShard, n)}
+	per := (capacity + n - 1) / n
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = per
+		m := make(map[string]*planEntry)
+		sh.m.Store(&m)
+	}
+	return c
+}
+
+// shard maps a key to its shard. The hash only has to spread statements
+// across ≤16 shards (a skewed spread costs eviction balance, never
+// correctness), so instead of hashing the whole key it FNV-mixes the length
+// with 16 bytes sampled at a stride — normalized SQL texts differ in table
+// names, predicates, and limits scattered through the string, which the
+// stride picks up at a fraction of a full-string hash's cost on the hit
+// path.
+func (c *PlanCache) shard(key string) *planShard {
+	if c.mask == 0 {
+		return &c.shards[0]
+	}
+	h := uint64(14695981039346656037) ^ uint64(len(key))
+	step := len(key)/16 + 1
+	for i := 0; i < len(key); i += step {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return &c.shards[(h^h>>32)&c.mask]
 }
 
 // get returns the cached plan for key when present and built at the current
-// generation. Stale entries are evicted on sight.
+// generation. Stale entries are evicted on sight. The hit path performs no
+// locking and no shared-structure mutation beyond (at most) one access-bit
+// store.
 func (c *PlanCache) get(key string, gen uint64) (*Plan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	sh := c.shard(key)
+	ent, ok := (*sh.m.Load())[key]
 	if !ok {
-		c.misses++
+		sh.misses.Add(1)
 		return nil, false
 	}
-	ent := el.Value.(*cacheEntry)
 	if ent.gen != gen {
-		c.ll.Remove(el)
-		delete(c.entries, key)
-		c.stale++
-		c.misses++
+		sh.dropStale(ent)
+		sh.stale.Add(1)
+		sh.misses.Add(1)
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	c.hits++
+	if !ent.ref.Load() { // check-then-set: hot entries stop dirtying the line
+		ent.ref.Store(true)
+	}
+	sh.hits.Add(1)
 	return ent.plan, true
 }
 
-// put installs a plan built at the given generation, evicting the least
-// recently used entry when the cache is full.
-func (c *PlanCache) put(key string, gen uint64, p *Plan) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		ent := el.Value.(*cacheEntry)
-		ent.gen, ent.plan = gen, p
-		c.ll.MoveToFront(el)
-		return
+// dropStale removes ent from the shard if it is still the published entry
+// for its key. Racing callers may both observe the same stale entry; only
+// the first removal mutates the shard, so counters stay exact per lookup.
+func (sh *planShard) dropStale(ent *planEntry) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := *sh.m.Load()
+	if cur[ent.key] != ent {
+		return // already replaced or removed by a racing put/evict
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, plan: p})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		c.evicted++
+	next := make(map[string]*planEntry, len(cur))
+	for k, v := range cur {
+		if k != ent.key {
+			next[k] = v
+		}
 	}
+	sh.m.Store(&next)
+	sh.ring[ent.slot] = nil
+	sh.holes = append(sh.holes, ent.slot)
 }
 
-// Purge drops every entry (statistics are kept).
+// put installs a plan built at the given generation, evicting via CLOCK
+// second-chance when the shard is full: the hand skips (and clears) entries
+// whose access bit is set, evicting the first cold entry it finds — the
+// MoveToFront-free analogue of LRU eviction.
+func (c *PlanCache) put(key string, gen uint64, p *Plan) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := *sh.m.Load()
+	ne := &planEntry{key: key, gen: gen, plan: p}
+	if old, ok := cur[key]; ok {
+		// Replace in place: reuse the ring slot, publish a fresh entry so
+		// concurrent readers never see a half-updated (gen, plan) pair.
+		ne.slot = old.slot
+		ne.ref.Store(old.ref.Load())
+		sh.ring[old.slot] = ne
+		sh.publishWith(cur, ne, "")
+		return
+	}
+	switch {
+	case len(sh.holes) > 0:
+		ne.slot = sh.holes[len(sh.holes)-1]
+		sh.holes = sh.holes[:len(sh.holes)-1]
+		sh.ring[ne.slot] = ne
+	case len(sh.ring) < sh.cap:
+		ne.slot = len(sh.ring)
+		sh.ring = append(sh.ring, ne)
+	default:
+		// CLOCK sweep: terminates within two passes — the first pass clears
+		// every set access bit, so the second pass must find a victim.
+		for {
+			v := sh.ring[sh.hand]
+			if v.ref.Load() {
+				v.ref.Store(false)
+				sh.hand = (sh.hand + 1) % len(sh.ring)
+				continue
+			}
+			ne.slot = sh.hand
+			sh.ring[sh.hand] = ne
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			sh.evicted.Add(1)
+			sh.publishWith(cur, ne, v.key)
+			return
+		}
+	}
+	sh.publishWith(cur, ne, "")
+}
+
+// publishWith stores a copy of cur with ne added (replacing its key) and
+// drop removed (when non-empty). Callers hold sh.mu.
+func (sh *planShard) publishWith(cur map[string]*planEntry, ne *planEntry, drop string) {
+	next := make(map[string]*planEntry, len(cur)+1)
+	for k, v := range cur {
+		if k != drop {
+			next[k] = v
+		}
+	}
+	next[ne.key] = ne
+	sh.m.Store(&next)
+}
+
+// Purge drops every entry (statistics are kept). Each shard is cleared
+// independently under its own mutex, so lookups on other shards — and
+// lock-free hits on this one until its empty map is published — are never
+// stalled behind a global stop-the-world.
 func (c *PlanCache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.entries = make(map[string]*list.Element)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		m := make(map[string]*planEntry)
+		sh.m.Store(&m)
+		sh.ring = sh.ring[:0]
+		sh.holes = sh.holes[:0]
+		sh.hand = 0
+		sh.mu.Unlock()
+	}
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -101,13 +253,20 @@ type CacheStats struct {
 	HitRate  float64 `json:"hit_rate"`
 }
 
-// Stats reports the cache counters.
+// Stats reports the cache counters. It is lock-free: sizes come from the
+// published per-shard maps and counters from per-shard atomics, so scrapes
+// never block the hot path. Concurrent mutation can skew Size by in-flight
+// operations, but the counters themselves are exact (every lookup increments
+// exactly one of hits/misses).
 func (c *PlanCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := CacheStats{
-		Size: c.ll.Len(), Capacity: c.cap,
-		Hits: c.hits, Misses: c.misses, Stale: c.stale, Evicted: c.evicted,
+	s := CacheStats{Capacity: c.cap}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		s.Size += len(*sh.m.Load())
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Stale += sh.stale.Load()
+		s.Evicted += sh.evicted.Load()
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits) / float64(total)

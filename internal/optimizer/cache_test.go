@@ -1,6 +1,9 @@
 package optimizer
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"intellisphere/internal/sqlparse"
@@ -132,5 +135,99 @@ func TestOptimizerPlanCaching(t *testing.T) {
 	}
 	if _, err := f.opt.Plan(stmt); err != nil {
 		t.Fatalf("Plan without cache: %v", err)
+	}
+}
+
+// TestPlanCacheShardSizing pins the shard-count policy: small caches stay
+// single-sharded (preserving whole-cache eviction order), the default 256
+// fans out to the maximum, and total capacity is preserved across shards.
+func TestPlanCacheShardSizing(t *testing.T) {
+	cases := []struct {
+		capacity, shards int
+	}{
+		{2, 1}, {16, 1}, {31, 1}, {32, 2}, {64, 4}, {128, 8}, {256, 16}, {10000, 16},
+	}
+	for _, tc := range cases {
+		c := NewPlanCache(tc.capacity)
+		if len(c.shards) != tc.shards {
+			t.Errorf("capacity %d: %d shards, want %d", tc.capacity, len(c.shards), tc.shards)
+		}
+		var total int
+		for i := range c.shards {
+			total += c.shards[i].cap
+		}
+		if total < tc.capacity {
+			t.Errorf("capacity %d: shard caps sum to %d", tc.capacity, total)
+		}
+	}
+}
+
+// TestPlanCacheShardedCounters fills a multi-shard cache past capacity and
+// checks the summed counters stay exact: every lookup lands in exactly one of
+// hits/misses, size never exceeds capacity, and eviction happens per shard.
+func TestPlanCacheShardedCounters(t *testing.T) {
+	c := NewPlanCache(64) // 4 shards x 16
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stmt-%d", i)
+		c.put(keys[i], 1, &Plan{})
+	}
+	var lookups uint64
+	for _, k := range keys {
+		c.get(k, 1)
+		lookups++
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != lookups {
+		t.Errorf("hits %d + misses %d != lookups %d", s.Hits, s.Misses, lookups)
+	}
+	if s.Size > 64 {
+		t.Errorf("size %d exceeds capacity", s.Size)
+	}
+	if s.Evicted == 0 {
+		t.Error("no evictions after 200 inserts into 64 slots")
+	}
+	if s.Size+int(s.Evicted) != len(keys) {
+		t.Errorf("size %d + evicted %d != %d inserts", s.Size, s.Evicted, len(keys))
+	}
+}
+
+// TestPlanCacheConcurrent hammers one sharded cache from many goroutines
+// mixing hits, misses, stale lookups, inserts, purges, and stat scrapes; the
+// race detector checks the lock-free paths and the final counters must
+// reconcile (hits+misses == lookups).
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(128)
+	plans := make([]*Plan, 32)
+	for i := range plans {
+		plans[i] = &Plan{}
+		c.put(fmt.Sprintf("k%d", i), 1, plans[i])
+	}
+	var lookups atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%48) // 32 present, 16 missing
+				gen := uint64(1 + (i%2)*(g%2))      // mix of current and stale gens
+				if p, ok := c.get(k, gen); ok && p == nil {
+					t.Error("hit returned nil plan")
+				}
+				lookups.Add(1)
+				if i%37 == 0 {
+					c.put(k, 1, plans[i%len(plans)])
+				}
+				if i%501 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != lookups.Load() {
+		t.Errorf("hits %d + misses %d != lookups %d", s.Hits, s.Misses, lookups.Load())
 	}
 }

@@ -24,11 +24,22 @@ import (
 // adversarial stream of distinct specs degrades to cache misses, never to
 // unbounded memory.
 
-const execMemoSlots = 1024 // power of two; ~8KiB of slot pointers per table
+const execMemoSlots = 1024 // power of two; ~64KiB of padded slots per table
+
+// memoSlot pads each slot pointer to a full cache line. Under concurrent
+// serving, distinct hot specs hash to arbitrary neighbouring slots; with 8
+// pointers per 64B line, a store for one spec would invalidate the line
+// caching seven unrelated hot reads on every other core (false sharing).
+// 1024 padded slots cost 64KiB per table — four tables per simulator, a few
+// simulators per engine — which is noise next to the contention it removes.
+type memoSlot[K comparable] struct {
+	p atomic.Pointer[memoEntry[K]]
+	_ [56]byte
+}
 
 // execMemo is one direct-mapped memo table.
 type execMemo[K comparable] struct {
-	slots [execMemoSlots]atomic.Pointer[memoEntry[K]]
+	slots [execMemoSlots]memoSlot[K]
 }
 
 type memoEntry[K comparable] struct {
@@ -37,14 +48,14 @@ type memoEntry[K comparable] struct {
 }
 
 func (c *execMemo[K]) get(h uint64, k K) (Execution, bool) {
-	if e := c.slots[h&(execMemoSlots-1)].Load(); e != nil && e.key == k {
+	if e := c.slots[h&(execMemoSlots-1)].p.Load(); e != nil && e.key == k {
 		return e.ex, true
 	}
 	return Execution{}, false
 }
 
 func (c *execMemo[K]) put(h uint64, k K, ex Execution) {
-	c.slots[h&(execMemoSlots-1)].Store(&memoEntry[K]{key: k, ex: ex})
+	c.slots[h&(execMemoSlots-1)].p.Store(&memoEntry[K]{key: k, ex: ex})
 }
 
 // joinMemoKey includes the algorithm because Distributed.ExecuteJoinWith
