@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel-smoke bench-snapshot bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak ci
+.PHONY: all build vet test race bench bench-parallel-smoke bench-snapshot bench-snapshot-smoke smoke trace-smoke obs-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak ci
 
 all: build
 
@@ -35,7 +35,7 @@ bench:
 bench-parallel-smoke:
 	$(GO) test ./internal/engine -run '^$$' -bench 'Parallel' -benchtime 1x -cpu 1
 
-# Full benchmark run recorded as a JSON perf snapshot (BENCH_PR9.json;
+# Full benchmark run recorded as a JSON perf snapshot (BENCH_PR10.json;
 # earlier BENCH_PR*.json files are history, never overwritten): ns/op plus
 # B/op + allocs/op per benchmark, and the RunParallel serving suite under a
 # -cpu sweep with throughput scaling ratios, so the trajectory across PRs
@@ -59,6 +59,14 @@ smoke:
 # check, and the -pprof surface.
 trace-smoke:
 	GO="$(GO)" sh scripts/trace_smoke.sh
+
+# Continuous-observability smoke: a live cmd/serve with tight SLO windows
+# must correlate a /events wide event to its /trace span tree, fill the
+# /history time-series, drive the availability SLO through a full firing →
+# resolved burn-rate cycle, expose histogram exemplars on /metrics/prom,
+# and write the NDJSON event log.
+obs-smoke:
+	GO="$(GO)" sh scripts/obs_smoke.sh
 
 # High-QPS serving smoke: 100 statements pipelined down one /query/stream
 # connection against a live cmd/serve (in-order, length-prefix-framed
@@ -97,4 +105,4 @@ crash-smoke:
 crash-soak:
 	$(GO) test -race ./test/e2e -run TestCrashRecoverySoak -count=1
 
-ci: vet build race bench bench-parallel-smoke bench-snapshot-smoke smoke trace-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak
+ci: vet build race bench bench-parallel-smoke bench-snapshot-smoke smoke trace-smoke obs-smoke stream-smoke chaos tuner-smoke crash-smoke crash-soak

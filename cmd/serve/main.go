@@ -19,6 +19,10 @@
 //	GET  /metrics                              QPS, latency, cache hit rate
 //	GET  /metrics/prom                         Prometheus text exposition
 //	GET  /trace?n=5&format=text                recent traced queries
+//	GET  /trace?errors=1&system=hive&min_ms=50 filtered traces
+//	GET  /events?n=100&errors=1                recent wide query events
+//	GET  /history?window=15m&step=10s          embedded metrics time series
+//	GET  /slo                                  objectives, burn rates, alert states
 //	GET  /health                               breaker states and fallback counters
 //	GET  /faults                               fault-injector switches and stats
 //	POST /faults   {"system": "hive", "outage": true}       force/lift an outage
@@ -58,6 +62,15 @@
 // endpoints actually populate; combine it with -pprof to measure lock
 // contention on a live server.
 //
+// Observability is on by default: every query feeds the end-to-end latency
+// histogram, -event-sample of ordinary queries (plus every error and every
+// query past -slow-query-ms) become wide events on /events, a collector
+// samples the key serving series every -obs-step into the /history ring, and
+// the -slo-* objectives evaluate multi-window burn-rate alerts on /slo.
+// -event-log additionally streams events to a size-rotated NDJSON file.
+// -obs-step 0 switches the whole pipeline off; the engine then pays one
+// atomic load per query for it and nothing else.
+//
 // The hot endpoints (/query, /query/batch, /query/stream) sit behind an
 // admission controller: -max-inflight caps concurrent work, -queue-depth
 // bounds the wait line (over-queue arrivals shed with 503 + Retry-After),
@@ -92,6 +105,7 @@ import (
 	"intellisphere/internal/engine"
 	"intellisphere/internal/faults"
 	"intellisphere/internal/nn"
+	"intellisphere/internal/obs"
 	"intellisphere/internal/resilience"
 	"intellisphere/internal/server"
 )
@@ -122,6 +136,18 @@ func main() {
 	tuneMinLog := flag.Int("tune-min-log", 0, "minimum per-model execution log before a candidate tune (0 = default 16)")
 	dataDir := flag.String("data-dir", "", "durable state directory: snapshots + write-ahead log (empty = stateless)")
 	walRotate := flag.Int64("wal-rotate-bytes", 0, "WAL size that triggers a background snapshot + log rotation (0 = default 4 MiB, negative disables)")
+	eventSample := flag.Float64("event-sample", 1.0, "wide-event head-sampling rate for ordinary queries [0,1]; errors and slow queries are always captured")
+	slowQueryMS := flag.Int("slow-query-ms", 500, "latency at which a query counts as slow and is always captured as an event (0 disables the rule)")
+	eventBuffer := flag.Int("event-buffer", 0, "in-memory wide-event ring capacity behind /events (0 = default 1024)")
+	eventLog := flag.String("event-log", "", "NDJSON wide-event log path, size-rotated (empty = in-memory ring only)")
+	eventLogMax := flag.Int64("event-log-max-bytes", 0, "event-log size that triggers rotation to .1 (0 = default 8 MiB)")
+	obsStep := flag.Duration("obs-step", 5*time.Second, "metrics-history collector step behind /history (<= 0 disables the whole observability pipeline)")
+	sloAvailability := flag.Float64("slo-availability", 0.999, "availability SLO target as a good fraction (0 disables)")
+	sloLatency := flag.Duration("slo-latency-p99", 250*time.Millisecond, "p99 latency SLO threshold (0 disables)")
+	sloQError := flag.Float64("slo-qerror", 0, "estimator mean q-error SLO threshold (0 disables)")
+	sloFast := flag.Duration("slo-fast", time.Minute, "fast burn-rate window")
+	sloSlow := flag.Duration("slo-slow", 5*time.Minute, "slow burn-rate window")
+	sloBurn := flag.Float64("slo-burn", 14, "burn-rate multiple that fires an SLO alert")
 	flag.Parse()
 
 	log.Printf("building demo federation (seed %d)...", *seed)
@@ -211,6 +237,33 @@ func main() {
 	if dur != nil {
 		srvOpts = srvOpts.WithDurability(dur)
 	}
+	var observer *obs.Observer
+	if *obsStep > 0 {
+		observer, err = obs.New(obs.Config{
+			Events: obs.RecorderConfig{
+				SampleRate:    *eventSample,
+				SlowThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+				RingSize:      *eventBuffer,
+			},
+			EventLogPath:     *eventLog,
+			EventLogMaxBytes: *eventLogMax,
+			Step:             *obsStep,
+			Objectives:       obs.DefaultObjectives(*sloAvailability, *sloLatency, *sloQError, *sloFast, *sloSlow, *sloBurn),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		srvOpts = srvOpts.WithObservability(observer)
+		// The cumulative source reads engine + admission stats, so the
+		// collector starts only after the server is fully assembled.
+		observer.Start(srvOpts.ObsSource())
+		if *eventLog != "" {
+			log.Printf("observability on: step %s, sample %.3g, event log %s", *obsStep, *eventSample, *eventLog)
+		} else {
+			log.Printf("observability on: step %s, sample %.3g", *obsStep, *eventSample)
+		}
+	}
 	handler := srvOpts.Handler(*timeout)
 	if *contention > 0 {
 		// Without these, the /debug/pprof/mutex and /debug/pprof/block
@@ -271,6 +324,9 @@ func main() {
 		if tuner != nil {
 			tuner.Stop()
 		}
+		// Stopping the observer drains the event log's final batch, so a
+		// graceful shutdown loses no captured events.
+		observer.Stop()
 		eng.FlushFeedback()
 		if dur != nil {
 			if err := dur.Snapshot(); err != nil {

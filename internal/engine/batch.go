@@ -31,6 +31,7 @@ type BatchItem struct {
 //
 // A failed statement (parse, plan, or execution) fails only its own slot.
 func (e *Engine) QueryBatch(ctx context.Context, sqls []string) []BatchItem {
+	rec := e.events.Load()
 	out := make([]BatchItem, len(sqls))
 	stmts := make([]*sqlparse.SelectStmt, len(sqls))
 	live := make([]int, 0, len(sqls))
@@ -41,6 +42,9 @@ func (e *Engine) QueryBatch(ctx context.Context, sqls []string) []BatchItem {
 		if err != nil {
 			e.queryErrors.Inc()
 			out[i].Err = err
+			if rec != nil {
+				e.emitEvent(rec, "batch", sql, nil, err, 0, 0)
+			}
 			continue
 		}
 		stmts[i] = stmt
@@ -77,16 +81,33 @@ func (e *Engine) QueryBatch(ctx context.Context, sqls []string) []BatchItem {
 		if err := plans[bi].Err; err != nil {
 			e.queryErrors.Inc()
 			out[i].Err = err
+			if rec != nil {
+				e.emitEvent(rec, "batch", sqls[i], nil, err, 0, 0)
+			}
 			continue
 		}
 		p := plans[bi].Plan
 		end := off + len(p.Steps)
+		// Per-statement event timing brackets only execution (parse and
+		// plan are batch-amortized, so no per-statement figure exists for
+		// them); the clock reads happen only when events are on, keeping
+		// the two-reads-per-batch pattern otherwise.
+		var stStart time.Time
+		if rec != nil {
+			stStart = time.Now()
+		}
 		res, err := e.runInto(ctx, stmts[i], p, &slab[si], actuals[off:off:end])
+		if res != nil {
+			res.CacheHit = plans[bi].CacheHit
+		}
 		si, off = si+1, end
 		if err != nil {
 			e.queryErrors.Inc()
 		}
 		out[i] = BatchItem{Res: res, Err: err}
+		if rec != nil {
+			e.emitEvent(rec, "batch", sqls[i], res, err, time.Since(stStart), 0)
+		}
 	}
 	if planned > 0 {
 		e.executeHist.ObserveN(time.Since(execStart)/time.Duration(planned), planned)

@@ -27,6 +27,7 @@ import (
 	"intellisphere/internal/metrics"
 	"intellisphere/internal/modelver"
 	"intellisphere/internal/nn"
+	"intellisphere/internal/obs"
 	"intellisphere/internal/optimizer"
 	"intellisphere/internal/plan"
 	"intellisphere/internal/querygrid"
@@ -104,6 +105,10 @@ type Engine struct {
 	fallback bool
 
 	traces *trace.Ring // nil when the trace buffer is disabled
+	// events is the optional wide-event recorder (see internal/obs). nil —
+	// the default — keeps the serving path identical to an uninstrumented
+	// build: one atomic load per query, no clock reads, no allocations.
+	events atomic.Pointer[obs.Recorder]
 	// accuracy holds one rolling estimator-accuracy window per
 	// (system, operator kind), keyed "system/kind". Lock-free reads on the
 	// serving path; windows are created on first observation.
@@ -360,6 +365,18 @@ func (e *Engine) ResetAccuracy(system string) {
 	}
 }
 
+// ErrUnknownSystem tags failures caused by a request or plan naming a
+// system that is not registered, so the serving layer can classify them
+// (errors.Is) without string matching.
+var ErrUnknownSystem = errors.New("unknown system")
+
+// unknownSystemError keeps the exact historical message text while
+// supporting errors.Is(err, ErrUnknownSystem).
+type unknownSystemError struct{ msg string }
+
+func (e *unknownSystemError) Error() string        { return e.msg }
+func (e *unknownSystemError) Is(target error) bool { return target == ErrUnknownSystem }
+
 // stepKey identifies one (system, operator kind) pair without the string
 // concatenation a combined key would cost on every lookup.
 type stepKey struct{ system, kind string }
@@ -396,7 +413,7 @@ func (e *Engine) stepStateFor(system, kind string) (*stepState, error) {
 	}
 	sys, ok := e.remotes.Get(system)
 	if !ok {
-		return nil, fmt.Errorf("engine: plan step targets unknown system %q", system)
+		return nil, &unknownSystemError{msg: fmt.Sprintf("engine: plan step targets unknown system %q", system)}
 	}
 	est, _ := e.estimators.Get(system)
 	st := &stepState{
@@ -464,7 +481,7 @@ func (e *Engine) Grid() *querygrid.Grid { return e.grid }
 func (e *Engine) Remote(name string) (remote.System, error) {
 	sys, ok := e.remotes.Get(name)
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown remote system %q", name)
+		return nil, &unknownSystemError{msg: fmt.Sprintf("engine: unknown remote system %q", name)}
 	}
 	return sys, nil
 }
@@ -689,6 +706,12 @@ type QueryResult struct {
 	ActualSec float64
 	// StepActuals aligns with Plan.Steps.
 	StepActuals []float64
+	// CacheHit reports the plan was served from the plan cache.
+	CacheHit bool
+	// Retries counts remote step attempts beyond the first across the
+	// plan that produced this result (the final plan, for degraded
+	// queries that re-planned).
+	Retries int
 	// Rows holds real results when every referenced table is materialized;
 	// nil otherwise (statistics-only execution).
 	Rows *rowengine.Result
@@ -711,7 +734,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	p, err := e.plan(ctx, stmt)
+	p, _, err := e.plan(ctx, stmt)
 	if err != nil {
 		return "", err
 	}
@@ -735,7 +758,7 @@ func (e *Engine) parse(ctx context.Context, sql string) (*sqlparse.SelectStmt, e
 	}
 	_, sp := trace.Start(ctx, "parse")
 	start := time.Now()
-	defer func() { e.parseHist.Observe(time.Since(start)) }()
+	defer func() { e.parseHist.ObserveExemplar(time.Since(start), sp.TraceID()) }()
 	stmt, err := sqlparse.Parse(sql)
 	if err == nil && e.stmts != nil {
 		e.stmts.put(sql, stmt)
@@ -744,18 +767,19 @@ func (e *Engine) parse(ctx context.Context, sql string) (*sqlparse.SelectStmt, e
 	return stmt, err
 }
 
-// plan times planning (cache hits included) into the plan-stage histogram.
-func (e *Engine) plan(ctx context.Context, stmt *sqlparse.SelectStmt) (*optimizer.Plan, error) {
+// plan times planning (cache hits included) into the plan-stage histogram
+// and reports whether the plan came from the plan cache.
+func (e *Engine) plan(ctx context.Context, stmt *sqlparse.SelectStmt) (*optimizer.Plan, bool, error) {
 	ctx, sp := trace.Start(ctx, "plan")
 	start := time.Now()
-	p, err := e.opt.PlanCtx(ctx, stmt)
-	e.planHist.Observe(time.Since(start))
+	p, hit, err := e.opt.PlanCtxHit(ctx, stmt)
+	e.planHist.ObserveExemplar(time.Since(start), sp.TraceID())
 	if sp != nil && err == nil {
 		sp.SetInt("steps", len(p.Steps))
 		sp.SetFloat("estimated_sec", p.EstimatedSec)
 	}
 	sp.EndErr(err)
-	return p, err
+	return p, hit, err
 }
 
 // Query plans and executes a SQL statement across the federation. It is safe
@@ -771,11 +795,22 @@ func (e *Engine) Query(sql string) (*QueryResult, error) {
 // timeout cancels in-flight remote work instead of letting it run to
 // completion behind an abandoned request.
 func (e *Engine) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
+	rec := e.events.Load()
+	if rec == nil {
+		e.queries.Inc()
+		res, err := e.query(ctx, sql)
+		if err != nil {
+			e.queryErrors.Inc()
+		}
+		return res, err
+	}
+	start := time.Now()
 	e.queries.Inc()
 	res, err := e.query(ctx, sql)
 	if err != nil {
 		e.queryErrors.Inc()
 	}
+	e.emitEvent(rec, "query", sql, res, err, time.Since(start), 0)
 	return res, err
 }
 
@@ -786,8 +821,16 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (*QueryResult, er
 // EXPLAIN ANALYZE. Failed queries are traced too (the trace lands in the
 // ring with the error recorded), so slow failures stay diagnosable.
 func (e *Engine) QueryTraced(ctx context.Context, sql string) (*QueryResult, *trace.Trace, error) {
-	tr := trace.New(sql)
+	// The trace ID is claimed before the query runs (NewTrace), so the
+	// histogram exemplars and the wide event emitted along the way carry
+	// the ID the trace is retrievable under once published.
+	tr := e.traces.NewTrace(sql)
 	ctx = trace.ContextWithSpan(ctx, tr.Root)
+	rec := e.events.Load()
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
 	e.queries.Inc()
 	res, err := e.query(ctx, sql)
 	if err != nil {
@@ -797,6 +840,9 @@ func (e *Engine) QueryTraced(ctx context.Context, sql string) (*QueryResult, *tr
 	e.traces.Record(tr)
 	if res != nil {
 		res.Trace = tr
+	}
+	if rec != nil {
+		e.emitEvent(rec, "query", sql, res, err, time.Since(start), tr.ID)
 	}
 	return res, tr, err
 }
@@ -836,11 +882,15 @@ func (e *Engine) query(ctx context.Context, sql string) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := e.plan(ctx, stmt)
+	p, hit, err := e.plan(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(ctx, stmt, p)
+	res, err := e.run(ctx, stmt, p)
+	if res != nil {
+		res.CacheHit = hit
+	}
+	return res, err
 }
 
 // run executes an already built plan for a statement — the shared back half
@@ -848,7 +898,9 @@ func (e *Engine) query(ctx context.Context, sql string) (*QueryResult, error) {
 // infrastructural failure the degraded re-planning loop.
 func (e *Engine) run(ctx context.Context, stmt *sqlparse.SelectStmt, p *optimizer.Plan) (*QueryResult, error) {
 	execStart := time.Now()
-	defer func() { e.executeHist.Observe(time.Since(execStart)) }()
+	defer func() {
+		e.executeHist.ObserveExemplar(time.Since(execStart), trace.SpanFromContext(ctx).TraceID())
+	}()
 	return e.runInto(ctx, stmt, p, &QueryResult{}, make([]float64, 0, len(p.Steps)))
 }
 
@@ -914,7 +966,7 @@ func (e *Engine) executeInto(ctx context.Context, stmt *sqlparse.SelectStmt, p *
 			return nil, err
 		}
 		var actual float64
-		if actual, err = e.executeStep(ctx, &p.Steps[i]); err != nil {
+		if actual, err = e.executeStep(ctx, &p.Steps[i], res); err != nil {
 			return nil, err
 		}
 		res.StepActuals = append(res.StepActuals, actual)
@@ -940,7 +992,7 @@ func (e *Engine) executeInto(ctx context.Context, stmt *sqlparse.SelectStmt, p *
 // for delivery to the estimator (the logging phase of Figure 3), and feeds
 // the (predicted, observed) pair into the per-(system, operator) accuracy
 // window.
-func (e *Engine) executeStep(ctx context.Context, step *optimizer.Step) (actual float64, err error) {
+func (e *Engine) executeStep(ctx context.Context, step *optimizer.Step, res *QueryResult) (actual float64, err error) {
 	ctx, sp := trace.Start(ctx, step.Kind)
 	if sp != nil {
 		sp.SetSystem(step.System)
@@ -988,6 +1040,7 @@ func (e *Engine) executeStep(ctx context.Context, step *optimizer.Step) (actual 
 	if attempts > 1 {
 		e.retries.Add(uint64(attempts - 1))
 		sp.SetInt("retries", attempts-1)
+		res.Retries += attempts - 1
 	}
 	if rerr != nil {
 		err = &stepFailure{system: step.System, kind: step.Kind, err: rerr}

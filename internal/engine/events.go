@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"intellisphere/internal/obs"
+	"intellisphere/internal/optimizer"
+)
+
+// SetEventRecorder attaches (or, with nil, detaches) the wide-event
+// recorder. Safe to call at any time; in-flight queries observe the old
+// value. While no recorder is attached the serving path pays one atomic
+// load per query and nothing else.
+func (e *Engine) SetEventRecorder(r *obs.Recorder) {
+	e.events.Store(r)
+}
+
+// EventRecorder returns the attached recorder (nil when events are off).
+func (e *Engine) EventRecorder() *obs.Recorder { return e.events.Load() }
+
+// emitEvent feeds the recorder at query completion: every query observes
+// the end-to-end latency histogram, then the sampler decides whether this
+// one becomes a wide event. The event struct (and the statement hash) is
+// only built after a positive sampling decision, so skipped queries
+// allocate nothing here.
+func (e *Engine) emitEvent(rec *obs.Recorder, kind, sql string, res *QueryResult, err error, lat time.Duration, traceID uint64) {
+	rec.Observe(lat, traceID)
+	capture, ok := rec.Sample(err != nil, lat)
+	if !ok {
+		return
+	}
+	ev := &obs.Event{
+		UnixNano:   time.Now().UnixNano(),
+		Kind:       kind,
+		Capture:    capture,
+		SQL:        sql,
+		StmtHash:   obs.StatementHash(sql),
+		Outcome:    "ok",
+		LatencySec: lat.Seconds(),
+		TraceID:    traceID,
+	}
+	if err != nil {
+		ev.Outcome = "error"
+		ev.Error = err.Error()
+	}
+	if res != nil {
+		ev.CacheHit = res.CacheHit
+		ev.ActualSec = res.ActualSec
+		ev.Retries = res.Retries
+		ev.Degraded = res.Degraded
+		if res.Plan != nil {
+			ev.EstimatedSec = res.Plan.EstimatedSec
+			ev.Systems = planSystems(res.Plan)
+		}
+	}
+	rec.Record(ev)
+}
+
+// planSystems lists the distinct systems a plan places steps on, sorted.
+// Transfer steps contribute both endpoints.
+func planSystems(p *optimizer.Plan) []string {
+	seen := make(map[string]bool, 4)
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if st.System != "" {
+			seen[st.System] = true
+		}
+		if st.From != "" {
+			seen[st.From] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"intellisphere/internal/obs"
+)
+
+// TestQueryEmitsWideEvents attaches a capture-everything recorder and pins
+// the wide-event fields the serving path fills in: statement hash, outcome,
+// chosen systems, estimate vs actual, cache-hit flag on a repeat statement,
+// and the error path's always-capture.
+func TestQueryEmitsWideEvents(t *testing.T) {
+	e := newEngine(t)
+	registerHive(t, e)
+	registerTables(t, e, "hive", ts{100000, 100})
+	rec := obs.NewRecorder(obs.RecorderConfig{SampleRate: 1})
+	e.SetEventRecorder(rec)
+	if e.EventRecorder() != rec {
+		t.Fatal("recorder did not attach")
+	}
+
+	sql := "SELECT a5, COUNT(a1) FROM t100000_100 GROUP BY a5"
+	res, err := e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Ring().Recent(1)
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != "query" || ev.Outcome != "ok" || ev.Capture != "head" {
+		t.Errorf("event header = %s/%s/%s", ev.Kind, ev.Outcome, ev.Capture)
+	}
+	if ev.SQL != sql || ev.StmtHash != obs.StatementHash(sql) || len(ev.StmtHash) != 16 {
+		t.Errorf("statement identity = %q / hash %q", ev.SQL, ev.StmtHash)
+	}
+	if ev.CacheHit {
+		t.Error("first statement flagged as a plan-cache hit")
+	}
+	if len(ev.Systems) == 0 {
+		t.Errorf("event lists no systems: %+v", ev)
+	}
+	if ev.EstimatedSec != res.Plan.EstimatedSec || ev.ActualSec != res.ActualSec {
+		t.Errorf("costs = %v/%v, want %v/%v", ev.EstimatedSec, ev.ActualSec, res.Plan.EstimatedSec, res.ActualSec)
+	}
+	if ev.LatencySec <= 0 || ev.Error != "" || ev.TraceID != 0 {
+		t.Errorf("latency/error/trace = %v/%q/%d", ev.LatencySec, ev.Error, ev.TraceID)
+	}
+
+	// The repeat is served from the plan cache and the event says so.
+	if _, err := e.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if evs = rec.Ring().Recent(1); !evs[0].CacheHit {
+		t.Error("repeat statement not flagged as cache hit")
+	}
+
+	// A traced query carries its trace ID so the event correlates to /trace.
+	_, tr, err := e.QueryTraced(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs = rec.Ring().Recent(1); evs[0].TraceID != tr.ID || tr.ID == 0 {
+		t.Errorf("event trace ID = %d, trace ID = %d", evs[0].TraceID, tr.ID)
+	}
+
+	// A failing statement is always captured, with the error attached.
+	if _, err := e.Query("SELECT nope FROM missing"); err == nil {
+		t.Fatal("bad statement succeeded")
+	}
+	ev = rec.Ring().Recent(1)[0]
+	if ev.Outcome != "error" || ev.Capture != "error" || ev.Error == "" {
+		t.Errorf("error event = %s/%s/%q", ev.Outcome, ev.Capture, ev.Error)
+	}
+
+	// Batch slots each emit an event with the batch kind.
+	before := rec.Ring().Count()
+	for _, item := range e.QueryBatch(context.Background(), []string{sql, sql}) {
+		if item.Err != nil {
+			t.Fatal(item.Err)
+		}
+	}
+	if got := rec.Ring().Count() - before; got != 2 {
+		t.Errorf("batch of 2 emitted %d events", got)
+	}
+	for _, ev := range rec.Ring().Recent(2) {
+		if ev.Kind != "batch" {
+			t.Errorf("batch event kind = %q", ev.Kind)
+		}
+	}
+
+	// Detaching restores the recorder-free path; nothing further records.
+	e.SetEventRecorder(nil)
+	before = rec.Ring().Count()
+	if _, err := e.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ring().Count() != before {
+		t.Error("detached recorder still receives events")
+	}
+}
+
+// TestEventSamplingAlwaysKeepsErrorsAndSlow pins the sampler contract: with
+// 1-in-N head sampling, errors and over-threshold queries bypass the
+// counter while ordinary queries are decimated.
+func TestEventSamplingAlwaysKeepsErrorsAndSlow(t *testing.T) {
+	e := newEngine(t)
+	registerHive(t, e)
+	registerTables(t, e, "hive", ts{100000, 100})
+	rec := obs.NewRecorder(obs.RecorderConfig{SampleRate: 0.01, SlowThreshold: time.Hour})
+	e.SetEventRecorder(rec)
+
+	sql := "SELECT a1 FROM t100000_100 WHERE a1 < 100"
+	for i := 0; i < 50; i++ {
+		if _, err := e.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Query("SELECT nope FROM missing"); err == nil {
+		t.Fatal("bad statement succeeded")
+	}
+	st := rec.Stats()
+	if st.Errors != 1 {
+		t.Errorf("error captures = %d, want 1", st.Errors)
+	}
+	if st.Captured >= 51 || st.Skipped == 0 {
+		t.Errorf("head sampling at 1%% captured %d of 51 (skipped %d)", st.Captured, st.Skipped)
+	}
+	// Every query still feeds the latency histogram even when skipped.
+	if got := rec.LatencySnapshot().Count; got != 51 {
+		t.Errorf("latency observations = %d, want 51", got)
+	}
+}

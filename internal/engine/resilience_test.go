@@ -278,7 +278,7 @@ func TestQueryContextCancellation(t *testing.T) {
 // unknown-system error even though no estimator exists for it either.
 func TestExecuteStepUnknownSystemFirst(t *testing.T) {
 	e := newEngine(t)
-	_, err := e.executeStep(context.Background(), &optimizer.Step{Kind: "scan", System: "ghost"})
+	_, err := e.executeStep(context.Background(), &optimizer.Step{Kind: "scan", System: "ghost"}, &QueryResult{})
 	if err == nil || !strings.Contains(err.Error(), `unknown system "ghost"`) {
 		t.Fatalf("err = %v, want unknown-system error", err)
 	}
@@ -291,7 +291,7 @@ func TestExecuteStepSortClamps(t *testing.T) {
 	for _, shape := range []struct{ rows, size float64 }{{0, 0}, {-5, -5}, {100, 8}} {
 		got, err := e.executeStep(context.Background(), &optimizer.Step{
 			Kind: "sort", System: "teradata", Rows: shape.rows, RowSize: shape.size,
-		})
+		}, &QueryResult{})
 		if err != nil {
 			t.Fatalf("sort step (%v rows): %v", shape.rows, err)
 		}

@@ -56,6 +56,21 @@ type Histogram struct {
 	bounds  []float64 // upper bound (seconds) per bucket, ascending
 	stripes [histStripes]histStripe
 	idxPool sync.Pool // *int stripe indices, handed out round-robin
+
+	// exemplars holds the most recent traced observation per bucket (index
+	// len(bounds) is the overflow bucket). Written only by ObserveExemplar
+	// when the observation carries a trace ID, read by Snapshot; a plain
+	// last-writer-wins atomic pointer per slot, so the untraced hot path
+	// never touches it.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one histogram observation back to the trace that produced
+// it — the OpenMetrics exemplar carried on /metrics/prom bucket lines.
+type Exemplar struct {
+	ValueSec float64 `json:"value_sec"`
+	TraceID  uint64  `json:"trace_id"`
+	UnixNano int64   `json:"ts_ns"`
 }
 
 // NewLatencyHistogram builds a histogram with exponential bounds from 50 µs
@@ -66,7 +81,7 @@ func NewLatencyHistogram() *Histogram {
 	for b := 50e-6; b < 110; b *= 2 {
 		bounds = append(bounds, b)
 	}
-	h := &Histogram{bounds: bounds}
+	h := &Histogram{bounds: bounds, exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1)}
 	for i := range h.stripes {
 		h.stripes[i].counts = make([]atomic.Uint64, len(bounds))
 	}
@@ -107,6 +122,34 @@ func (h *Histogram) Observe(d time.Duration) {
 	st.overflow.Add(1)
 }
 
+// ObserveExemplar records one duration and, when traceID is non-zero, pins
+// an exemplar on the bucket the observation landed in. Traced queries pay
+// one allocation and one atomic store beyond Observe; traceID 0 (the
+// untraced case) is exactly Observe.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	if traceID == 0 {
+		h.Observe(d)
+		return
+	}
+	sec := d.Seconds()
+	if sec < 0 {
+		sec, d = 0, 0
+	}
+	ex := &Exemplar{ValueSec: sec, TraceID: traceID, UnixNano: time.Now().UnixNano()}
+	st := h.stripe()
+	st.count.Add(1)
+	st.sumNanos.Add(uint64(d.Nanoseconds()))
+	for i, b := range h.bounds {
+		if sec <= b {
+			st.counts[i].Add(1)
+			h.exemplars[i].Store(ex)
+			return
+		}
+	}
+	st.overflow.Add(1)
+	h.exemplars[len(h.bounds)].Store(ex)
+}
+
 // ObserveN records n observations of d each. Batch callers use it to
 // attribute a batch's elapsed time across its statements with one bucket
 // walk and three atomic adds instead of n of each.
@@ -135,6 +178,9 @@ func (h *Histogram) ObserveN(d time.Duration, n int) {
 type Bucket struct {
 	UpperBoundSec float64 `json:"le"`
 	Count         uint64  `json:"count"`
+	// Exemplar is the most recent traced observation that landed in this
+	// bucket, when any query traced through it.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time view of a histogram with
@@ -154,6 +200,8 @@ type HistogramSnapshot struct {
 	// Overflow counts observations above the last bucket bound (the +Inf
 	// bucket of the Prometheus exposition).
 	Overflow uint64 `json:"overflow,omitempty"`
+	// OverflowExemplar is the exemplar for the overflow (+Inf) bucket.
+	OverflowExemplar *Exemplar `json:"overflow_exemplar,omitempty"`
 }
 
 // Snapshot captures the histogram by merging all stripes. Quantiles are
@@ -180,9 +228,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Buckets = make([]Bucket, len(h.bounds))
 	for i, b := range h.bounds {
-		s.Buckets[i] = Bucket{UpperBoundSec: b, Count: counts[i]}
+		s.Buckets[i] = Bucket{UpperBoundSec: b, Count: counts[i], Exemplar: h.exemplars[i].Load()}
 		total += counts[i]
 	}
+	s.OverflowExemplar = h.exemplars[len(h.bounds)].Load()
 	total += s.Overflow
 	if total == 0 {
 		return s

@@ -1,0 +1,117 @@
+package obs
+
+import "time"
+
+// Config assembles the whole pipeline.
+type Config struct {
+	// Events tunes the recorder; a zero SampleRate with no SlowThreshold
+	// still captures errors.
+	Events RecorderConfig
+	// EventLogPath enables the NDJSON file sink when non-empty.
+	EventLogPath string
+	// EventLogMaxBytes rotates the file sink (<= 0 selects
+	// DefaultSinkMaxBytes).
+	EventLogMaxBytes int64
+	// HistorySize and Step size the time-series ring (<= 0 select
+	// DefaultHistorySize / 5 s).
+	HistorySize int
+	Step        time.Duration
+	// Objectives declares the SLOs; empty disables the SLO engine.
+	Objectives []Objective
+	// Clock is injectable for tests (nil selects the wall clock).
+	Clock func() time.Time
+}
+
+// Observer bundles the three observability pieces behind one lifecycle.
+// Construction wires rings and the recorder; Start (given the cumulative
+// source, which needs the fully built serving stack) launches the collector
+// and file-sink goroutines; Stop tears both down, flushing the sink.
+type Observer struct {
+	Rec  *Recorder
+	Hist *History
+	SLO  *SLO
+	Sink *FileSink
+
+	cfg     Config
+	col     *Collector
+	started bool
+}
+
+// New builds an observer. The file sink (when configured) is opened here so
+// startup fails fast on an unwritable path, but no goroutines run until
+// Start.
+func New(cfg Config) (*Observer, error) {
+	o := &Observer{
+		Rec:  NewRecorder(cfg.Events),
+		Hist: NewHistory(cfg.HistorySize, cfg.Step),
+		cfg:  cfg,
+	}
+	if len(cfg.Objectives) > 0 {
+		o.SLO = NewSLO(o.Hist, cfg.Objectives)
+	}
+	if cfg.EventLogPath != "" {
+		sink, err := NewFileSink(o.Rec.Ring(), cfg.EventLogPath, cfg.EventLogMaxBytes, 0)
+		if err != nil {
+			return nil, err
+		}
+		o.Sink = sink
+	}
+	return o, nil
+}
+
+// Start launches the collector (sampling src) and the file sink.
+func (o *Observer) Start(src func() Cumulative) {
+	if o == nil || o.started {
+		return
+	}
+	o.started = true
+	o.col = NewCollector(src, o.Hist, o.SLO, o.cfg.Step, o.cfg.Clock)
+	o.col.Start()
+	if o.Sink != nil {
+		o.Sink.Start()
+	}
+}
+
+// Stop halts the collector and flushes/closes the sink. Safe to call when
+// Start never ran (the sink goroutine only exists after Start).
+func (o *Observer) Stop() {
+	if o == nil || !o.started {
+		return
+	}
+	o.started = false
+	if o.col != nil {
+		o.col.Stop()
+		o.col = nil
+	}
+	if o.Sink != nil {
+		o.Sink.Stop()
+	}
+}
+
+// DefaultObjectives builds the stock objective set from the serve flags:
+// availability (target good fraction), p99 latency (threshold seconds; 0
+// disables), and estimator q-error (threshold; 0 disables).
+func DefaultObjectives(availability float64, latencyP99 time.Duration, qerror float64, fast, slow time.Duration, burnFactor float64) []Objective {
+	var out []Objective
+	if availability > 0 && availability < 1 {
+		out = append(out, Objective{
+			Name: "availability", Kind: KindAvailability, Target: availability,
+			FastWindow: fast, SlowWindow: slow, BurnFactor: burnFactor,
+		})
+	}
+	if latencyP99 > 0 {
+		out = append(out, Objective{
+			Name: "latency-p99", Kind: KindLatency, Target: 0.99,
+			Threshold:  latencyP99.Seconds(),
+			FastWindow: fast, SlowWindow: slow, BurnFactor: burnFactor,
+		})
+	}
+	if qerror > 0 {
+		out = append(out, Objective{
+			Name: "estimator-qerror", Kind: KindQError, Target: 0.95,
+			Threshold:  qerror,
+			FastWindow: fast, SlowWindow: slow, BurnFactor: burnFactor,
+		})
+	}
+	return out
+}

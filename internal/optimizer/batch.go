@@ -15,6 +15,9 @@ import (
 type PlanResult struct {
 	Plan *Plan
 	Err  error
+	// CacheHit marks a plan served from the plan cache (duplicates of a
+	// hit statement within the batch share the verdict).
+	CacheHit bool
 }
 
 // pendingStmt is one cache-missed scan or aggregation statement awaiting
@@ -109,6 +112,7 @@ func (o *Optimizer) PlanBatchCtx(ctx context.Context, stmts []*sqlparse.SelectSt
 		if o.Cache != nil {
 			if p, ok := o.Cache.get(key, gen); ok {
 				out[i].Plan = p
+				out[i].CacheHit = true
 				continue
 			}
 		}

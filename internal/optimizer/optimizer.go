@@ -150,7 +150,14 @@ func (o *Optimizer) Plan(stmt *sqlparse.SelectStmt) (*Plan, error) {
 // trace span, candidate-costing work records per-(system, operator) spans
 // under it.
 func (o *Optimizer) PlanCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (*Plan, error) {
-	return o.PlanExcludingCtx(ctx, stmt, nil)
+	p, _, err := o.PlanCtxHit(ctx, stmt)
+	return p, err
+}
+
+// PlanCtxHit is PlanCtx additionally reporting whether the plan was served
+// from the plan cache — the per-query verdict the wide-event log records.
+func (o *Optimizer) PlanCtxHit(ctx context.Context, stmt *sqlparse.SelectStmt) (*Plan, bool, error) {
+	return o.planExcludingHit(ctx, stmt, nil)
 }
 
 // PlanExcluding is PlanExcludingCtx without tracing.
@@ -166,35 +173,43 @@ func (o *Optimizer) PlanExcluding(stmt *sqlparse.SelectStmt, exclude map[string]
 // stored in it (the exclusion is transient — the failed remote is expected
 // back). The master cannot be excluded; it anchors every plan.
 func (o *Optimizer) PlanExcludingCtx(ctx context.Context, stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, error) {
+	p, _, err := o.planExcludingHit(ctx, stmt, exclude)
+	return p, err
+}
+
+// planExcludingHit is the planning entry point all public variants reduce
+// to; the bool reports a plan-cache hit.
+func (o *Optimizer) planExcludingHit(ctx context.Context, stmt *sqlparse.SelectStmt, exclude map[string]bool) (*Plan, bool, error) {
 	if o.Catalog == nil || o.Grid == nil || o.Estimators == nil || o.Estimators.Len() == 0 {
-		return nil, fmt.Errorf("optimizer: catalog, grid, and estimators are required")
+		return nil, false, fmt.Errorf("optimizer: catalog, grid, and estimators are required")
 	}
 	if _, ok := o.Estimators.Get(querygrid.Master); !ok {
-		return nil, fmt.Errorf("optimizer: no estimator registered for the master %q", querygrid.Master)
+		return nil, false, fmt.Errorf("optimizer: no estimator registered for the master %q", querygrid.Master)
 	}
 	if exclude[querygrid.Master] {
-		return nil, fmt.Errorf("optimizer: the master %q cannot be excluded", querygrid.Master)
+		return nil, false, fmt.Errorf("optimizer: the master %q cannot be excluded", querygrid.Master)
 	}
 	sp := trace.SpanFromContext(ctx)
 	if o.Cache == nil || len(exclude) > 0 {
 		if sp != nil && len(exclude) > 0 {
 			sp.SetAttr("cache", "bypass")
 		}
-		return o.planUncached(ctx, stmt, exclude)
+		p, err := o.planUncached(ctx, stmt, exclude)
+		return p, false, err
 	}
 	key := stmt.String()
 	gen := o.generation()
 	if p, ok := o.Cache.get(key, gen); ok {
 		sp.SetAttr("cache", "hit")
-		return p, nil
+		return p, true, nil
 	}
 	sp.SetAttr("cache", "miss")
 	p, err := o.planUncached(ctx, stmt, nil)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	o.Cache.put(key, gen, p)
-	return p, nil
+	return p, false, nil
 }
 
 // generation sums every input the planner's output depends on: catalog

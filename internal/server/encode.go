@@ -257,12 +257,15 @@ func encodeStatementError(w *jw, sql, msg string) {
 	w.b.WriteByte('}')
 }
 
-// encodeErrorFrame writes a top-level {"error": ...} frame (the writeError
-// shape, also map-sorted in the seed).
-func encodeErrorFrame(w *jw, msg string) {
+// encodeErrorFrame writes a top-level {"code": ..., "error": ...} frame (the
+// writeError shape). The seed encoded these as sorted string maps; "code"
+// sorts before "error", so the golden equivalence with encoding/json holds.
+func encodeErrorFrame(w *jw, code, msg string) {
 	w.b.WriteByte('{')
 	w.depth++
-	w.key("error", true)
+	w.key("code", true)
+	w.str(code)
+	w.key("error", false)
 	w.str(msg)
 	w.depth--
 	w.newline()

@@ -102,9 +102,10 @@ func TestEncodeErrorFramesEquivalence(t *testing.T) {
 
 	b.Reset()
 	enc = jw{b: &b}
-	encodeErrorFrame(&enc, msg)
+	encodeErrorFrame(&enc, "bad_request", msg)
 	b.WriteByte('\n')
-	if want := refEncode(t, map[string]string{"error": msg}); b.String() != want {
+	// "code" sorts before "error", so the map reference pins the field order.
+	if want := refEncode(t, map[string]string{"code": "bad_request", "error": msg}); b.String() != want {
 		t.Errorf("error frame:\nfast: %q\nref:  %q", b.String(), want)
 	}
 }

@@ -91,8 +91,9 @@ func TestTraceEndpoint(t *testing.T) {
 }
 
 // promSampleRe matches one exposition sample line: a metric name, optional
-// labels, and a float value.
-var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+// labels, a float value, and an optional OpenMetrics exemplar suffix
+// (" # {labels} value [timestamp]") on histogram bucket lines.
+var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( # \{[^{}]*\} [-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?( [-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)?)?$`)
 
 // checkPromFormat is a strict text-exposition (0.0.4) parser: every line is
 // a well-formed comment or sample, every sample's base name is declared by a
@@ -129,6 +130,9 @@ func checkPromFormat(t *testing.T, body string) (samples map[string]float64) {
 			continue
 		}
 		name, labels, valText := m[1], m[2], m[3]
+		if m[5] != "" && !strings.HasSuffix(name, "_bucket") {
+			t.Errorf("line %d: exemplar on non-bucket sample %q", line, name)
+		}
 		base := name
 		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 			if bn := strings.TrimSuffix(name, suffix); bn != name && typed[bn] == "histogram" {

@@ -3,12 +3,14 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"intellisphere/internal/metrics"
+	"intellisphere/internal/obs"
 	"intellisphere/internal/resilience"
 )
 
@@ -23,6 +25,7 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 
 	gauge(&b, "intellisphere_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	writeRuntime(&b)
 	gauge(&b, "intellisphere_qps", "Queries per second over a sliding 60s window.", s.qps.Rate())
 	counter(&b, "intellisphere_queries_total", "Queries accepted (scalar and batch statements).", float64(st.Queries))
 	counter(&b, "intellisphere_query_errors_total", "Queries that failed to parse, plan, or execute.", float64(st.QueryErrors))
@@ -78,11 +81,84 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	histogram(&b, "intellisphere_plan_seconds", "Plan construction latency (cache hits included).", st.Plan)
 	histogram(&b, "intellisphere_execute_seconds", "Plan execution wall time.", st.Execute)
 
+	if s.obs != nil {
+		rs := s.obs.Rec.Stats()
+		counter(&b, "intellisphere_events_captured_total", "Queries captured as wide events.", float64(rs.Captured))
+		counter(&b, "intellisphere_events_errors_total", "Wide events captured by the always-on error rule.", float64(rs.Errors))
+		counter(&b, "intellisphere_events_slow_total", "Wide events captured by the slow-query rule.", float64(rs.Slow))
+		counter(&b, "intellisphere_events_skipped_total", "Queries the head sampler passed over.", float64(rs.Skipped))
+		if s.obs.Sink != nil {
+			ss := s.obs.Sink.Stats()
+			counter(&b, "intellisphere_event_log_written_total", "Events appended to the NDJSON event log.", float64(ss.Written))
+			counter(&b, "intellisphere_event_log_lost_total", "Events overwritten in the ring before the log drainer reached them.", float64(ss.Lost))
+			counter(&b, "intellisphere_event_log_write_errors_total", "Event-log write failures.", float64(ss.WriteErrs))
+			counter(&b, "intellisphere_event_log_rotations_total", "Event-log size rotations.", float64(ss.Rotations))
+		}
+		histogram(&b, "intellisphere_query_seconds", "End-to-end query latency as the caller saw it.", s.obs.Rec.LatencySnapshot())
+		if s.obs.SLO != nil {
+			writeSLO(&b, s.obs.SLO.Snapshot())
+		}
+	}
+
 	writeBreakers(&b, st.Resilience.Breakers)
 	writeAccuracy(&b, st.Accuracy)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
+}
+
+// writeRuntime renders process/runtime health: goroutine and heap pressure,
+// cumulative GC pause time, scheduler width, and the build-info marker every
+// fleet dashboard joins on.
+func writeRuntime(b *strings.Builder) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge(b, "intellisphere_goroutines", "Goroutines currently live.", float64(runtime.NumGoroutine()))
+	gauge(b, "intellisphere_heap_inuse_bytes", "Bytes in in-use heap spans.", float64(ms.HeapInuse))
+	gauge(b, "intellisphere_heap_objects", "Live heap objects.", float64(ms.HeapObjects))
+	counter(b, "intellisphere_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+	counter(b, "intellisphere_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	gauge(b, "intellisphere_gomaxprocs", "Scheduler width (GOMAXPROCS).", float64(runtime.GOMAXPROCS(0)))
+	header(b, "intellisphere_build_info", "Build information; the value is always 1.", "gauge")
+	fmt.Fprintf(b, "intellisphere_build_info{go_version=\"%s\"} 1\n", escapeLabel(runtime.Version()))
+}
+
+// writeSLO renders every objective's burn rates, alert state, and lifetime
+// transition counters as labeled samples.
+func writeSLO(b *strings.Builder, alerts []obs.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	header(b, "intellisphere_slo_burn_rate", "Error-budget burn-rate multiple per objective and window.", "gauge")
+	for _, a := range alerts {
+		fmt.Fprintf(b, "intellisphere_slo_burn_rate{slo=\"%s\",window=\"fast\"} %s\n", escapeLabel(a.Name), promFloat(a.FastBurn))
+		fmt.Fprintf(b, "intellisphere_slo_burn_rate{slo=\"%s\",window=\"slow\"} %s\n", escapeLabel(a.Name), promFloat(a.SlowBurn))
+	}
+	header(b, "intellisphere_slo_state", "Objective alert state (0=inactive, 1=pending, 2=firing, 3=resolved).", "gauge")
+	for _, a := range alerts {
+		fmt.Fprintf(b, "intellisphere_slo_state{slo=\"%s\"} %d\n", escapeLabel(a.Name), sloStateCode(a.State))
+	}
+	header(b, "intellisphere_slo_fired_total", "Lifetime transitions into the firing state.", "counter")
+	for _, a := range alerts {
+		fmt.Fprintf(b, "intellisphere_slo_fired_total{slo=\"%s\"} %d\n", escapeLabel(a.Name), a.FiredTotal)
+	}
+	header(b, "intellisphere_slo_resolved_total", "Lifetime firing-to-resolved transitions.", "counter")
+	for _, a := range alerts {
+		fmt.Fprintf(b, "intellisphere_slo_resolved_total{slo=\"%s\"} %d\n", escapeLabel(a.Name), a.ResolvedTotal)
+	}
+}
+
+// sloStateCode maps an alert state onto its gauge encoding.
+func sloStateCode(state string) int {
+	switch state {
+	case obs.StatePending:
+		return 1
+	case obs.StateFiring:
+		return 2
+	case obs.StateResolved:
+		return 3
+	}
+	return 0
 }
 
 // writeBreakers renders per-remote circuit-breaker gauges, sorted by system
@@ -135,17 +211,34 @@ func gauge(b *strings.Builder, name, help string, v float64) {
 }
 
 // histogram renders one latency histogram with cumulative le buckets, the
-// +Inf bucket (overflow included), and the _sum/_count pair.
+// +Inf bucket (overflow included), the _sum/_count pair, and — for buckets a
+// traced query landed in — an exemplar suffix carrying the trace ID.
 func histogram(b *strings.Builder, name, help string, s metrics.HistogramSnapshot) {
 	header(b, name, help, "histogram")
 	var cum uint64
 	for _, bk := range s.Buckets {
 		cum += bk.Count
-		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(bk.UpperBoundSec), cum)
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d", name, promFloat(bk.UpperBoundSec), cum)
+		exemplar(b, bk.Exemplar)
+		b.WriteByte('\n')
 	}
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d", name, s.Count)
+	exemplar(b, s.OverflowExemplar)
+	b.WriteByte('\n')
 	fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(s.SumSeconds))
 	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+}
+
+// exemplar appends an OpenMetrics exemplar suffix to a bucket sample line:
+// " # {trace_id=\"...\"} value timestamp". The trace ID joins the bucket to
+// GET /trace; scrapers speaking only the 0.0.4 text format ignore text after
+// " # " on a sample line.
+func exemplar(b *strings.Builder, e *metrics.Exemplar) {
+	if e == nil || e.TraceID == 0 {
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=\"%d\"} %s %s",
+		e.TraceID, promFloat(e.ValueSec), promFloat(float64(e.UnixNano)/1e9))
 }
 
 // writeAccuracy renders the estimator-accuracy windows as labeled gauges:

@@ -18,7 +18,15 @@
 //	GET  /metrics/prom                 the same counters in the Prometheus
 //	                                   text exposition format (0.0.4)
 //	GET  /trace                        recent traced queries as span trees
-//	                                   (?n= bounds, ?format=text renders)
+//	                                   (?n= bounds, ?format=text renders,
+//	                                   ?errors=1 / ?system= / ?min_ms= filter)
+//	GET  /events                       recent wide query events (?n= bounds;
+//	                                   ?errors=1 / ?system= / ?min_ms= /
+//	                                   ?since= filter)
+//	GET  /history                      embedded metrics time series
+//	                                   (?window=15m, ?step=10s)
+//	GET  /slo                          declared objectives with burn rates
+//	                                   and alert states
 //	GET  /health                       federation availability: circuit-breaker
 //	                                   states, retry/fallback counters; 503
 //	                                   while any breaker is open; with a data
@@ -66,6 +74,8 @@ import (
 	"intellisphere/internal/faults"
 	"intellisphere/internal/metrics"
 	"intellisphere/internal/modelver"
+	"intellisphere/internal/obs"
+	"intellisphere/internal/sqlparse"
 	"intellisphere/internal/trace"
 )
 
@@ -98,6 +108,10 @@ type Server struct {
 	// dur, when set via WithDurability, exposes snapshot/WAL state on
 	// /health and /metrics/prom.
 	dur *engine.Durability
+	// obs, when set via WithObservability, backs /events, /history, /slo,
+	// the SLO block on /health, and the observability metrics on
+	// /metrics/prom.
+	obs *obs.Observer
 }
 
 // New wraps an engine for serving with default admission control on the hot
@@ -153,6 +167,9 @@ func (s *Server) Handler(timeout time.Duration) http.Handler {
 	mux.Handle("/metrics", bound(s.handleMetrics))
 	mux.Handle("/metrics/prom", bound(s.handlePromMetrics))
 	mux.Handle("/trace", bound(s.handleTrace))
+	mux.Handle("/events", bound(s.handleEvents))
+	mux.Handle("/history", bound(s.handleHistory))
+	mux.Handle("/slo", bound(s.handleSLO))
 	mux.Handle("/health", bound(s.handleHealth))
 	mux.Handle("/faults", bound(s.handleFaults))
 	mux.Handle("/models", bound(s.handleModels))
@@ -210,15 +227,57 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError answers with the standard {"error": ...} frame through the
-// pooled fast-path encoder (error frames are hot under load shedding).
+// writeError answers with the standard {"code": ..., "error": ...} frame
+// through the pooled fast-path encoder (error frames are hot under load
+// shedding), classifying the error into its machine-readable code.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeErrorCode(w, status, errorCode(err), err)
+}
+
+// writeErrorCode is writeError with an explicit code, for handlers whose
+// errors carry a classification the type system cannot (e.g. "not_enabled").
+func (s *Server) writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
 	buf := getBuf()
 	enc := jw{b: buf}
-	encodeErrorFrame(&enc, err.Error())
+	encodeErrorFrame(&enc, code, err.Error())
 	buf.WriteByte('\n')
 	s.writeBuf(w, status, buf)
 	putBuf(buf)
+}
+
+// errorCode classifies an error into the machine-readable "code" field every
+// top-level error frame carries, so clients and dashboards branch on a
+// stable token instead of matching message text:
+//
+//	parse_error     the statement failed to lex or parse
+//	shed            admission refused the request (queue full or hopeless
+//	                deadline)
+//	rate_limited    the client exceeded its admission rate limit
+//	unknown_system  a plan step targets an unregistered remote
+//	timeout         the request deadline expired mid-query
+//	too_large       the request body exceeded the byte cap
+//	bad_request     everything else
+func errorCode(err error) string {
+	var pe *sqlparse.ParseError
+	var shed *admission.ShedError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &pe):
+		return "parse_error"
+	case errors.As(err, &shed):
+		if errors.Is(err, admission.ErrRateLimited) {
+			return "rate_limited"
+		}
+		return "shed"
+	case errors.Is(err, engine.ErrUnknownSystem):
+		return "unknown_system"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.As(err, &mbe):
+		return "too_large"
+	default:
+		return "bad_request"
+	}
 }
 
 // writeBuf flushes a pre-encoded JSON body, counting write failures.
@@ -283,9 +342,12 @@ func (s *Server) writeShed(w http.ResponseWriter, err error) {
 		return
 	}
 	status := http.StatusServiceUnavailable
+	outcome := "shed"
 	if errors.Is(shed, admission.ErrRateLimited) {
 		status = http.StatusTooManyRequests
+		outcome = "rate_limited"
 	}
+	s.recordAdmissionEvent(outcome, err)
 	retry := int(shed.RetryAfter / time.Second)
 	if retry < 1 {
 		retry = 1
@@ -501,22 +563,67 @@ type metricsResponse struct {
 	UptimeSec float64      `json:"uptime_sec"`
 	QPS       float64      `json:"qps"`
 	Engine    engine.Stats `json:"engine"`
+	// Events carries the wide-event sampler's counters when observability
+	// is enabled; Sink additionally when the NDJSON file sink runs.
+	Events *obs.RecorderStats `json:"events,omitempty"`
+	Sink   *obs.SinkStats     `json:"event_log,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, metricsResponse{
+	resp := metricsResponse{
 		UptimeSec: time.Since(s.start).Seconds(),
 		QPS:       s.qps.Rate(),
 		Engine:    s.eng.Stats(),
-	})
+	}
+	if s.obs != nil {
+		rs := s.obs.Rec.Stats()
+		resp.Events = &rs
+		if s.obs.Sink != nil {
+			ss := s.obs.Sink.Stats()
+			resp.Sink = &ss
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleTrace serves the recent-traces ring: GET /trace returns the last
 // traced queries as JSON span trees, newest first; ?n= bounds the count and
 // ?format=text renders each trace as an EXPLAIN ANALYZE-style tree instead.
+// ?errors=1 keeps only failed traces, ?system=hive keeps traces with a span
+// on the system, ?min_ms=250 keeps slow ones; filters scan the whole ring
+// and ?n= bounds the filtered output.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
-	traces := s.eng.RecentTraces(n)
+	q := r.URL.Query()
+	n, _ := strconv.Atoi(q.Get("n"))
+	onlyErrors, _ := strconv.ParseBool(q.Get("errors"))
+	system := q.Get("system")
+	minMS, _ := strconv.ParseFloat(q.Get("min_ms"), 64)
+	filtered := onlyErrors || system != "" || minMS > 0
+	fetch := n
+	if filtered {
+		fetch = 0
+	}
+	traces := s.eng.RecentTraces(fetch)
+	if filtered {
+		// RecentTraces returned a fresh slice, so filtering in place is safe.
+		kept := traces[:0]
+		for _, t := range traces {
+			if onlyErrors && t.Error == "" {
+				continue
+			}
+			if system != "" && !t.HasSystem(system) {
+				continue
+			}
+			if minMS > 0 && float64(t.DurationNanos)/1e6 < minMS {
+				continue
+			}
+			kept = append(kept, t)
+			if n > 0 && len(kept) == n {
+				break
+			}
+		}
+		traces = kept
+	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if len(traces) == 0 {
@@ -556,7 +663,7 @@ type faultRequest struct {
 // its fault rates (the drift-injection lever the tuner smoke test pulls).
 func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	if s.faults == nil {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("fault injection not enabled"))
+		s.writeErrorCode(w, http.StatusNotFound, "not_enabled", fmt.Errorf("fault injection not enabled"))
 		return
 	}
 	if r.Method == http.MethodPost {
@@ -567,7 +674,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		}
 		inj, ok := s.faults[req.System]
 		if !ok {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown system %q", req.System))
+			s.writeErrorCode(w, http.StatusBadRequest, "unknown_system", fmt.Errorf("unknown system %q", req.System))
 			return
 		}
 		if req.Rates != nil {
@@ -695,7 +802,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if h.OpenCount > 0 {
 		status = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, status, healthResponse{Health: h, Durability: s.durabilityStatus()})
+	s.writeJSON(w, status, healthResponse{
+		Health: h, Durability: s.durabilityStatus(), SLO: s.sloStatus(),
+	})
 }
 
 // maxStreamLine bounds one statement line on /query/stream; the stream

@@ -106,7 +106,7 @@ func lex(input string) ([]token, error) {
 				toks = append(toks, token{kind: tokSymbol, text: "<>", pos: i + 1})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("sqlparse: unexpected %q at column %d", r, i+1)
+				return nil, &ParseError{Column: i + 1, msg: fmt.Sprintf("sqlparse: unexpected %q at column %d", r, i+1)}
 			}
 		case strings.ContainsRune("=+-*,.()", r):
 			toks = append(toks, token{kind: tokSymbol, text: string(r), pos: i + 1})
@@ -115,7 +115,7 @@ func lex(input string) ([]token, error) {
 			// Statement terminator: stop lexing.
 			i = len(runes)
 		default:
-			return nil, fmt.Errorf("sqlparse: unexpected %q at column %d", r, i+1)
+			return nil, &ParseError{Column: i + 1, msg: fmt.Sprintf("sqlparse: unexpected %q at column %d", r, i+1)}
 		}
 	}
 	toks = append(toks, token{kind: tokEOF, pos: len(runes) + 1})

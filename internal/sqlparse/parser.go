@@ -38,8 +38,23 @@ func (p *parser) at(kind tokenKind, text string) bool {
 	return t.kind == kind && (text == "" || t.text == text)
 }
 
+// ParseError is the typed form of every statement parse and lex failure,
+// so callers (the serving layer's error-code classifier above all) can
+// recognize bad SQL with errors.As instead of string matching. Error()
+// keeps the exact historical message format.
+type ParseError struct {
+	// Column is the 1-based input column the failure was detected at.
+	Column int
+	msg    string
+}
+
+func (e *ParseError) Error() string { return e.msg }
+
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("sqlparse: column %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+	return &ParseError{
+		Column: p.cur().pos,
+		msg:    fmt.Sprintf("sqlparse: column %d: %s", p.cur().pos, fmt.Sprintf(format, args...)),
+	}
 }
 
 func (p *parser) expectKeyword(kw string) error {

@@ -24,14 +24,33 @@ func NewRing(n int) *Ring {
 	return &Ring{slots: make([]atomic.Pointer[Trace], n)}
 }
 
-// Record publishes a finished trace, assigning it the next trace ID
-// (IDs start at 1 and never repeat).
+// NewTrace begins a trace whose ID is assigned eagerly — before the query
+// runs — so histogram exemplars and wide events emitted mid-query can carry
+// the ID the trace will be retrievable under once published. On a nil ring
+// the trace is still usable but keeps ID 0 (untraced for correlation
+// purposes). The trace occupies no ring slot until Record publishes it.
+func (r *Ring) NewTrace(sql string) *Trace {
+	t := New(sql)
+	if r != nil {
+		t.ID = r.next.Add(1)
+		t.Root.tid = t.ID
+	}
+	return t
+}
+
+// Record publishes a finished trace. Traces without an ID (built by New or
+// NewOp rather than NewTrace) are assigned the next trace ID here; IDs start
+// at 1 and never repeat.
 func (r *Ring) Record(t *Trace) {
 	if r == nil || t == nil {
 		return
 	}
-	id := r.next.Add(1)
-	t.ID = id
+	id := t.ID
+	if id == 0 {
+		id = r.next.Add(1)
+		t.ID = id
+		t.Root.tid = id
+	}
 	r.slots[int((id-1)%uint64(len(r.slots)))].Store(t)
 }
 

@@ -46,16 +46,28 @@ type Span struct {
 	base  time.Time // trace start, for child offsets
 	begin time.Time
 	done  bool
+	tid   uint64 // owning trace's ID (0 when the trace was never ring-assigned)
 }
 
 // child starts a sub-span. Safe for concurrent use on one parent.
 func (s *Span) child(name string) *Span {
 	now := time.Now()
-	c := &Span{Name: name, base: s.base, begin: now, StartNanos: now.Sub(s.base).Nanoseconds()}
+	c := &Span{Name: name, base: s.base, begin: now, StartNanos: now.Sub(s.base).Nanoseconds(), tid: s.tid}
 	s.mu.Lock()
 	s.Children = append(s.Children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// TraceID returns the ID of the trace this span belongs to, or 0 when the
+// span is nil or its trace was never assigned an ID (untraced queries,
+// rings of size zero). The ID is fixed at span creation, so exemplar and
+// event emitters can read it without taking the span lock.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.tid
 }
 
 // End closes the span, fixing its duration. Subsequent Ends are no-ops.
@@ -165,6 +177,36 @@ func NewOp(name, label string) *Trace {
 		StartedAt: now,
 		Root:      &Span{Name: name, base: now, begin: now},
 	}
+}
+
+// HasSystem reports whether any span in the trace touched the named remote
+// system. Used by the /trace endpoint's ?system= filter.
+func (t *Trace) HasSystem(name string) bool {
+	if t == nil {
+		return false
+	}
+	return t.Root.hasSystem(name)
+}
+
+// hasSystem walks the span subtree under the span lock (children may still
+// be appended by a concurrent writer when a trace is inspected in flight).
+func (s *Span) hasSystem(name string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	match := s.System == name
+	kids := s.Children
+	s.mu.Unlock()
+	if match {
+		return true
+	}
+	for _, c := range kids {
+		if c.hasSystem(name) {
+			return true
+		}
+	}
+	return false
 }
 
 // Finish closes the root span and stamps the trace's total duration and

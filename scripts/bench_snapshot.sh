@@ -2,10 +2,10 @@
 # Record the perf trajectory: run the benchmark suite and emit a JSON
 # snapshot (ns/op, and B/op + allocs/op where the benchmark reports them)
 # keyed by benchmark name. Used by `make bench-snapshot` (full run, writes
-# BENCH_PR9.json; earlier snapshots like BENCH_PR4.json / BENCH_PR6.json are
-# historical records and are never overwritten) and by `make ci` (BENCHTIME=1x
-# smoke into a throwaway file, just to prove the suite and the parser still
-# work).
+# BENCH_PR10.json; earlier snapshots like BENCH_PR4.json / BENCH_PR6.json /
+# BENCH_PR9.json are historical records and are never overwritten) and by
+# `make ci` (BENCHTIME=1x smoke into a throwaway file, just to prove the
+# suite and the parser still work).
 #
 # The parallel suite (internal/engine Benchmark*Parallel) runs under a
 # -cpu sweep (BENCH_CPUS, default 1,4,8); its entries keep the GOMAXPROCS
@@ -16,7 +16,7 @@
 set -eu
 
 GO=${GO:-go}
-OUT=${BENCH_OUT:-BENCH_PR9.json}
+OUT=${BENCH_OUT:-BENCH_PR10.json}
 BENCHTIME=${BENCHTIME:-1s}
 BENCH_CPUS=${BENCH_CPUS:-1,4,8}
 NPROC=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -1 )

@@ -1,0 +1,118 @@
+#!/bin/sh
+# Continuous-observability smoke for cmd/serve: start the server with tight
+# SLO windows and a wide-event log, then walk the whole pipeline — a traced
+# query whose trace ID correlates a /events wide event to /trace, the
+# /history time-series filling in, an error burst driving the availability
+# SLO to firing and a clean stretch resolving it, exemplars in the
+# /metrics/prom exposition, and the NDJSON event log on disk. Used by
+# `make obs-smoke` and CI.
+set -eu
+
+GO=${GO:-go}
+ADDR=${OBS_SMOKE_ADDR:-127.0.0.1:18085}
+DIR=$(mktemp -d)
+BIN=$DIR/serve
+LOG=$DIR/serve.log
+EVLOG=$DIR/events.ndjson
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "obs-smoke: $1" >&2
+    shift
+    for extra in "$@"; do echo "$extra" >&2; done
+    exit 1
+}
+
+$GO build -o "$BIN" ./cmd/serve
+
+# Tight windows so the firing → resolved cycle fits in seconds: 250ms
+# collector ticks, a 1s fast / 3s slow burn window, and a low burn factor.
+"$BIN" -addr "$ADDR" \
+    -event-log "$EVLOG" -event-sample 1 \
+    -obs-step 250ms -slo-fast 1s -slo-slow 3s -slo-burn 2 \
+    -slo-availability 0.999 >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until curl -sf "http://$ADDR/profiles" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 120 ] && fail "server did not come up; log:" "$(cat "$LOG")"
+    kill -0 "$PID" 2>/dev/null || fail "server exited early; log:" "$(cat "$LOG")"
+    sleep 0.5
+done
+
+# A traced query becomes a wide event carrying the trace ID.
+curl -sf "http://$ADDR/query?trace=1" \
+    -d '{"sql": "SELECT a2, COUNT(a1) FROM t1000000_100 GROUP BY a2"}' >/dev/null ||
+    fail "traced query failed"
+events=$(curl -sf "http://$ADDR/events?n=10")
+echo "$events" | grep -q '"stmt_hash"' || fail "/events has no wide events: $events"
+tid=$(echo "$events" | sed -n 's/.*"trace_id": \([0-9][0-9]*\).*/\1/p' | head -1)
+[ -n "$tid" ] || fail "no event carries a trace_id: $events"
+curl -sf "http://$ADDR/trace" | grep -q "\"id\": $tid" ||
+    fail "event trace_id $tid does not resolve on /trace"
+
+# The exposition carries OpenMetrics exemplars referencing the same traces.
+curl -sf "http://$ADDR/metrics/prom" | grep -q ' # {trace_id="' ||
+    fail "/metrics/prom has no histogram exemplars"
+
+# An error burst long enough to heat both burn windows: every statement
+# fails, so the availability objective burns far past its factor.
+end=$(($(date +%s) + 20))
+while [ "$(date +%s)" -lt "$end" ]; do
+    curl -s "http://$ADDR/query?q=SELECT+nope+FROM" >/dev/null || true
+    if curl -sf "http://$ADDR/slo" | grep -q '"state": "firing"'; then
+        fired=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "${fired:-}" ] || fail "availability SLO never fired under a pure-error burst" \
+    "$(curl -sf "http://$ADDR/slo")"
+curl -sf "http://$ADDR/health" | grep -q '"firing": [1-9]' ||
+    fail "/health does not surface the firing SLO" "$(curl -sf "http://$ADDR/health")"
+
+# A clean stretch of healthy queries drains both windows; hysteresis then
+# resolves the alert.
+end=$(($(date +%s) + 30))
+while [ "$(date +%s)" -lt "$end" ]; do
+    curl -s "http://$ADDR/query?q=SELECT+a1+FROM+t10000_100" >/dev/null || true
+    if curl -sf "http://$ADDR/slo" | grep -q '"resolved_total": [1-9]'; then
+        resolved=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "${resolved:-}" ] || fail "availability SLO never resolved after the burst ended" \
+    "$(curl -sf "http://$ADDR/slo")"
+
+# The embedded history has accumulated samples covering the cycle.
+hist=$(curl -sf "http://$ADDR/history?window=1m")
+echo "$hist" | grep -q '"qps"' || fail "/history has no samples: $hist"
+echo "$hist" | grep -q '"error_rate"' || fail "/history samples lack error_rate: $hist"
+
+# ?errors=1 filters the ring down to the burst's failures.
+errs=$(curl -sf "http://$ADDR/events?errors=1&n=5")
+echo "$errs" | grep -q '"outcome": "error"' || fail "/events?errors=1 empty: $errs"
+echo "$errs" | grep -q '"outcome": "ok"' && fail "/events?errors=1 leaked ok events: $errs"
+
+# The NDJSON sink has the events on disk, one JSON object per line.
+[ -s "$EVLOG" ] || fail "event log $EVLOG is empty"
+head -1 "$EVLOG" | grep -q '"kind":' || fail "event log first line is not a wide event: $(head -1 "$EVLOG")"
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 60 ] && fail "server did not shut down; log:" "$(cat "$LOG")"
+    sleep 0.5
+done
+wait "$PID" 2>/dev/null || true
+PID=
+
+echo "obs-smoke: ok"

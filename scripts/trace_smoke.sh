@@ -75,8 +75,9 @@ for want in \
         exit 1
     }
 done
-# Every non-comment line is "name[{labels}] value".
-bad=$(echo "$prom" | grep -v '^#' | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eE]+$' || true)
+# Every non-comment line is "name[{labels}] value", optionally followed by
+# an OpenMetrics exemplar (" # {labels} value timestamp") on bucket lines.
+bad=$(echo "$prom" | grep -v '^#' | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eE]+( # \{[^{}]*\} [-+0-9.eE]+( [-+0-9.eE]+)?)?$' || true)
 if [ -n "$bad" ]; then
     echo "trace-smoke: malformed exposition lines:" >&2
     echo "$bad" >&2

@@ -36,6 +36,7 @@ import (
 	"intellisphere/internal/datagen"
 	"intellisphere/internal/demo"
 	"intellisphere/internal/engine"
+	"intellisphere/internal/obs"
 	"intellisphere/internal/querygrid"
 )
 
@@ -101,8 +102,10 @@ type soak struct {
 
 // serverArgs are the flags every server incarnation starts with: the same
 // deterministic federation seed, the durable data directory, the blackbox
-// tunable remote, pprof (for the goroutine-leak check), and a tight breaker
-// so fault pulses cycle closed → open → closed quickly.
+// tunable remote, pprof (for the goroutine-leak check), a tight breaker
+// so fault pulses cycle closed → open → closed quickly, and a wide-event
+// log inside the data directory so every SIGKILL also tears the NDJSON
+// sink mid-write (the torn-tail check below).
 func (s *soak) serverArgs() []string {
 	return []string{
 		"-addr", s.addr,
@@ -112,7 +115,12 @@ func (s *soak) serverArgs() []string {
 		"-pprof",
 		"-breaker-failures", "2",
 		"-breaker-open-timeout", "200ms",
+		"-event-log", s.eventLog(),
 	}
+}
+
+func (s *soak) eventLog() string {
+	return filepath.Join(s.dataDir, "events.ndjson")
 }
 
 func goCmd() string {
@@ -599,6 +607,45 @@ func (s *soak) checkRecovery(preKill map[string]string, preLineage modelLineage)
 
 	if got := s.lineage(); fmt.Sprint(got) != fmt.Sprint(preLineage) {
 		s.t.Fatalf("model lineage diverged across SIGKILL:\npre-kill: %v\nrecovered: %v", preLineage, got)
+	}
+
+	s.checkEventLog()
+}
+
+// checkEventLog validates the wide-event NDJSON sink after a crash: the
+// sink writes with no fsync, so SIGKILL may tear the final line mid-write,
+// but every complete (newline-terminated) line must still parse as a wide
+// event. At most one torn trailing fragment is tolerated — a torn line
+// anywhere else means interleaved or corrupted writes.
+func (s *soak) checkEventLog() {
+	s.t.Helper()
+	data, err := os.ReadFile(s.eventLog())
+	if err != nil {
+		s.fatalf("read event log: %v", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	// A well-formed file ends with "\n", leaving one empty trailing element;
+	// anything non-empty there is the (single permitted) torn fragment.
+	complete, tail := lines[:len(lines)-1], lines[len(lines)-1]
+	parsed := 0
+	for i, line := range complete {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			s.fatalf("event log line %d is torn or corrupt mid-file: %v: %q", i+1, err, line)
+		}
+		if ev.ID == 0 || ev.Kind == "" {
+			s.fatalf("event log line %d parsed but is not a wide event: %q", i+1, line)
+		}
+		parsed++
+	}
+	if tail != "" {
+		var ev obs.Event
+		if json.Unmarshal([]byte(tail), &ev) == nil && ev.ID != 0 {
+			parsed++ // the kill landed exactly between the event and its newline
+		}
+	}
+	if parsed == 0 {
+		s.fatalf("event log has no parseable events after %d queries", len(s.probes))
 	}
 }
 
